@@ -1,0 +1,46 @@
+// Command hbpbench runs the paper-reproduction experiments and prints their
+// tables.  Without flags it runs everything; -exp selects one experiment;
+// -list shows what is available.
+//
+//	hbpbench -list
+//	hbpbench -exp EXP06
+//	hbpbench -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "run a single experiment (e.g. EXP01); empty = all")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		quick = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	)
+	flag.Parse()
+
+	exps := bench.Experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-7s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range exps {
+		if *expID != "" && !strings.EqualFold(e.ID, *expID) {
+			continue
+		}
+		e.Run(os.Stdout, *quick)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "hbpbench: no experiment matches %q (try -list)\n", *expID)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,93 @@
+// Command hbptrace runs one algorithm from the catalog on the simulated
+// multicore and dumps the full metric breakdown: per-proc counters, steal
+// histogram by priority, and (with -trace) the measured f(r)/L(r) tables.
+//
+//	hbptrace -algo "FFT" -n 1024 -p 8
+//	hbptrace -algo "Scan(M-Sum)" -n 4096 -p 8 -sched rws -trace
+//	hbptrace -algos
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "Scan(M-Sum)", "catalog algorithm name (see -algos)")
+		listOnly = flag.Bool("algos", false, "list algorithms and exit")
+		n        = flag.Int64("n", 0, "problem size (0 = the algorithm's default)")
+		p        = flag.Int("p", 8, "number of simulated cores")
+		mWords   = flag.Int("M", 1024, "private cache size in words")
+		bWords   = flag.Int("B", 16, "block size in words")
+		lat      = flag.Int64("b", 8, "cache-miss latency")
+		schedStr = flag.String("sched", "pws", "scheduler: pws or rws")
+		padded   = flag.Bool("padded", false, "use padded execution stacks (§4.7)")
+		doTrace  = flag.Bool("trace", false, "measure f(r)/L(r) (slow; use small n)")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range bench.Catalog() {
+			fmt.Printf("%-16s type %-2s f=%-3s L=%-4s sizes %v\n", a.Name, a.Typ, a.F, a.L, a.Sizes)
+		}
+		return
+	}
+	algo, ok := bench.FindAlgo(*algoName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hbptrace: unknown algorithm %q (try -algos)\n", *algoName)
+		os.Exit(2)
+	}
+	size := *n
+	if size == 0 {
+		size = algo.Sizes[0]
+	}
+
+	spec := bench.Spec{P: *p, M: *mWords, B: *bWords, MissLatency: *lat, Sched: *schedStr, Padded: *padded}
+	m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
+	root := algo.Build(m, size)
+	eng := core.NewEngine(m, specScheduler(spec), core.Options{Padded: spec.Padded})
+
+	var tr *trace.Tracer
+	if *doTrace {
+		tr = &trace.Tracer{SampleMinSize: 2}
+		trace.Attach(eng, tr)
+	}
+	res := eng.Run(root)
+
+	fmt.Printf("%s n=%d\n%s", algo.Name, size, res.String())
+	fmt.Println("per-proc:")
+	for i, ps := range res.PerProc {
+		fmt.Printf("  proc %2d: ops=%d rd=%d wr=%d hit=%d cold=%d block=%d upg=%d idle=%d steal=%d\n",
+			i, ps.Ops, ps.Reads, ps.Writes, ps.Hits, ps.ColdMisses,
+			ps.BlockMisses, ps.UpgradeMisses, ps.IdleTime, ps.StealTime)
+	}
+	fmt.Println("steals by priority:")
+	fmt.Print(res.PrioHistogram())
+
+	if tr != nil {
+		fmt.Println("f(r) excess by task size (worst case):")
+		for _, pt := range tr.FMeasure(int64(spec.B)) {
+			fmt.Printf("  size %8d: blocks=%d excess=%d\n", pt.Size, pt.Blocks, pt.Excess)
+		}
+		fmt.Println("L(r) shared blocks by stolen-task size (worst case):")
+		for _, pt := range tr.LMeasure() {
+			fmt.Printf("  size %8d: shared=%d\n", pt.Size, pt.Shared)
+		}
+		fmt.Printf("balance ratio (same-priority size spread): %.2f\n", tr.BalanceRatio(4))
+	}
+}
+
+func specScheduler(s bench.Spec) core.Scheduler {
+	if s.Sched == "rws" {
+		return sched.NewRWS(12345)
+	}
+	return sched.NewPWS()
+}

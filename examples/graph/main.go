@@ -1,0 +1,113 @@
+// Graph pipeline: the paper's list-ranking algorithm and the algorithms
+// built on it.  Ranks a random linked list (with and without the gapping
+// technique), runs the Euler-tour technique on a random tree to get depths
+// and subtree sizes, and labels the connected components of a random graph.
+//
+//	go run ./examples/graph
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algos/graph"
+	"repro/internal/algos/listrank"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+const procs = 8
+
+func newMachine() *machine.Machine {
+	return machine.New(machine.Config{P: procs, M: 1024, B: 16, MissLatency: 8})
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// --- List ranking, gapped vs ungapped -------------------------------
+	const n = 512
+	order := rng.Perm(n)
+	succ := make([]int64, n)
+	for k, v := range order {
+		if k == n-1 {
+			succ[v] = -1
+		} else {
+			succ[v] = int64(order[k+1])
+		}
+	}
+	for _, nogap := range []bool{false, true} {
+		m := newMachine()
+		sa := mem.NewArray(m.Space, n)
+		ra := mem.NewArray(m.Space, n)
+		sa.CopyIn(succ)
+		res := core.NewEngine(m, sched.NewPWS(), core.Options{}).
+			Run(listrank.Rank(sa, ra, listrank.Options{NoGap: nogap}))
+		head := int64(order[0])
+		fmt.Printf("list ranking n=%d gapped=%-5v  rank(head)=%d  Q=%d block=%d steals=%d\n",
+			n, !nogap, ra.Get(head), res.Total.ColdMisses, res.BlockMisses(), res.Steals)
+	}
+
+	// --- Euler tour on a random tree -------------------------------------
+	const tn = 200
+	eu := make([]int64, tn-1)
+	ev := make([]int64, tn-1)
+	for v := 1; v < tn; v++ {
+		eu[v-1] = int64(rng.Intn(v))
+		ev[v-1] = int64(v)
+	}
+	m := newMachine()
+	eua := mem.NewArray(m.Space, tn-1)
+	eva := mem.NewArray(m.Space, tn-1)
+	depth := mem.NewArray(m.Space, tn)
+	size := mem.NewArray(m.Space, tn)
+	eua.CopyIn(eu)
+	eva.CopyIn(ev)
+	res := core.NewEngine(m, sched.NewPWS(), core.Options{}).
+		Run(graph.EulerTour(tn, eua, eva, 0, depth, size))
+	maxDepth := int64(0)
+	for v := int64(0); v < tn; v++ {
+		if d := depth.Get(v); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	fmt.Printf("\neuler tour  n=%d  root subtree=%d  max depth=%d  Q=%d steals=%d\n",
+		tn, size.Get(0), maxDepth, res.Total.ColdMisses, res.Steals)
+
+	// --- Connected components --------------------------------------------
+	const gn = 120
+	var geu, gev []int64
+	// Three clusters: a ring, a path, and a clique-ish blob; plus isolates.
+	for i := 0; i < 40; i++ {
+		geu = append(geu, int64(i))
+		gev = append(gev, int64((i+1)%40))
+	}
+	for i := 40; i < 79; i++ {
+		geu = append(geu, int64(i))
+		gev = append(gev, int64(i+1))
+	}
+	for i := 80; i < 100; i++ {
+		for j := i + 1; j < 100; j += 7 {
+			geu = append(geu, int64(i))
+			gev = append(gev, int64(j))
+		}
+	}
+	m2 := newMachine()
+	eua2 := mem.NewArray(m2.Space, int64(len(geu)))
+	eva2 := mem.NewArray(m2.Space, int64(len(gev)))
+	comp := mem.NewArray(m2.Space, gn)
+	eua2.CopyIn(geu)
+	eva2.CopyIn(gev)
+	res2 := core.NewEngine(m2, sched.NewPWS(), core.Options{}).
+		Run(graph.CC(gn, eua2, eva2, comp))
+	labels := map[int64]int{}
+	for v := int64(0); v < gn; v++ {
+		labels[comp.Get(v)]++
+	}
+	fmt.Printf("\nconnected components n=%d m=%d: %d components  Q=%d steals=%d\n",
+		gn, len(geu), len(labels), res2.Total.ColdMisses, res2.Steals)
+	fmt.Printf("component sizes: ring=%d path=%d blob=%d isolates=%d\n",
+		labels[0], labels[40], labels[80], gn-100)
+}

@@ -1,0 +1,213 @@
+// Package fft implements the six-step FFT variant (Bailey; Vitter–Shriver)
+// as the Type-2 HBP computation of Section 3.2: the length-n input is viewed
+// as an R×C matrix (R·C = n, R ≈ C ≈ √n), which is transposed, run through
+// C parallel R-point recursive FFTs, twiddled, transposed back, run through
+// R parallel C-point recursive FFTs, and transposed once more.  This is the
+// cache-oblivious FFT of Frigo et al. with optimal Q(n,M,B) = O((n/B)·log_M n)
+// and parallel depth O(log n · log log n).
+//
+// Every stage writes into fresh scratch allocated by the stage head, so the
+// computation is limited access (each address written once).  The twiddle
+// multiplication is fused into the middle transpose.  Complex values occupy
+// two words (re, im).
+package fft
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// BaseN is the size at or below which a leaf computes the DFT directly.
+const BaseN = 4
+
+// Forward builds the computation dst = DFT(src) for n-element complex
+// arrays, n a power of two.
+func Forward(src, dst mem.CArray) *core.Node {
+	return buildTop(src, dst, -1)
+}
+
+// Inverse builds dst = IDFT(src), including the 1/n scaling pass.
+func Inverse(src, dst mem.CArray) *core.Node {
+	return buildTop(src, dst, +1)
+}
+
+func buildTop(src, dst mem.CArray, sign int) *core.Node {
+	n := src.Len()
+	if n != dst.Len() {
+		panic("fft: length mismatch")
+	}
+	if n&(n-1) != 0 {
+		panic("fft: length must be a power of two")
+	}
+	if sign < 0 {
+		return fftNode(src.Base, dst.Base, n, sign)
+	}
+	// Inverse: run the unscaled transform into scratch, then scale by 1/n
+	// with a BP map.
+	var scratch mem.Addr
+	return core.Stages(4*n,
+		func(c *core.Ctx) *core.Node {
+			scratch = c.Alloc(2 * n)
+			return fftNode(src.Base, scratch, n, sign)
+		},
+		func(c *core.Ctx) *core.Node {
+			inv := 1 / float64(n)
+			return core.MapRange(0, n, 4, func(c *core.Ctx, i int64) {
+				c.WF(dst.Base+2*i, c.RF(scratch+2*i)*inv)
+				c.WF(dst.Base+2*i+1, c.RF(scratch+2*i+1)*inv)
+			})
+		},
+	)
+}
+
+// fftNode builds the unscaled transform of the contiguous n-element complex
+// run at src into dst.  sign is -1 for the forward transform.
+func fftNode(src, dst mem.Addr, n int64, sign int) *core.Node {
+	if n <= BaseN {
+		return dftLeaf(src, dst, n, sign)
+	}
+	r, cc := split(n)
+	var y, y2, z, z2 mem.Addr
+	return &core.Node{
+		Size:  4 * n,
+		Label: "fft",
+		Seq: func(c *core.Ctx, stage int) *core.Node {
+			switch stage {
+			case 0:
+				// Step 1: transpose R×C → C×R.
+				y = c.Alloc(2 * n)
+				return transposeNode(src, y, r, cc, n, 0)
+			case 1:
+				// Step 2: C independent R-point FFTs on rows of y.
+				y2 = c.Alloc(2 * n)
+				subs := make([]*core.Node, cc)
+				for i := int64(0); i < cc; i++ {
+					subs[i] = fftNode(y+2*i*r, y2+2*i*r, r, sign)
+				}
+				return core.Spread(subs)
+			case 2:
+				// Steps 3–4: twiddle fused into the C×R → R×C transpose.
+				z = c.Alloc(2 * n)
+				return transposeNode(y2, z, cc, r, n, sign)
+			case 3:
+				// Step 5: R independent C-point FFTs on rows of z.
+				z2 = c.Alloc(2 * n)
+				subs := make([]*core.Node, r)
+				for i := int64(0); i < r; i++ {
+					subs[i] = fftNode(z+2*i*cc, z2+2*i*cc, cc, sign)
+				}
+				return core.Spread(subs)
+			case 4:
+				// Step 6: final transpose R×C → C×R yields natural order
+				// (position kc·R+kr equals the output index kr+R·kc).
+				return transposeNode(z2, dst, r, cc, n, 0)
+			default:
+				return nil
+			}
+		},
+	}
+}
+
+// split factors n = R·C with R = 2^⌈log₂n/2⌉ and C = n/R.
+func split(n int64) (r, c int64) {
+	lg := 0
+	for x := n; x > 1; x >>= 1 {
+		lg++
+	}
+	r = int64(1) << ((lg + 1) / 2)
+	return r, n / r
+}
+
+// transposeNode builds the cache-oblivious transpose of the rows×cols
+// complex matrix at src (row-major, stride cols) into the cols×rows matrix
+// at dst (row-major, stride rows).  When twiddleSign ≠ 0, each element is
+// multiplied by ω_fftN^{row·col} on the way through (the fused twiddle of
+// steps 3–4); row/col are the absolute coordinates in the original matrix.
+func transposeNode(src, dst mem.Addr, rows, cols, fftN int64, twiddleSign int) *core.Node {
+	return tNode(tArgs{
+		src: src, dst: dst,
+		rows: rows, cols: cols,
+		sStr: cols, dStr: rows,
+		n: fftN, sign: twiddleSign,
+	})
+}
+
+type tArgs struct {
+	src, dst       mem.Addr
+	rows, cols     int64
+	sStr, dStr     int64 // row strides of src and dst, in elements
+	rowOff, colOff int64 // absolute position of this sub-block
+	n              int64 // transform length, for twiddles
+	sign           int   // 0 = plain copy; ±1 = twiddle sign
+}
+
+func tNode(a tArgs) *core.Node {
+	if a.rows == 1 && a.cols == 1 {
+		return core.Leaf(4, func(c *core.Ctx) {
+			re, im := c.RF(a.src), c.RF(a.src+1)
+			if a.sign != 0 {
+				wr, wi := twiddle(a.rowOff, a.colOff, a.n, a.sign)
+				c.Op(1)
+				re, im = re*wr-im*wi, re*wi+im*wr
+			}
+			c.WF(a.dst, re)
+			c.WF(a.dst+1, im)
+		})
+	}
+	return &core.Node{
+		Size:  4 * a.rows * a.cols,
+		Label: "fftT",
+		Fork: func(c *core.Ctx) (*core.Node, *core.Node) {
+			if a.rows >= a.cols {
+				h := a.rows / 2
+				top, bot := a, a
+				top.rows = h
+				bot.rows = a.rows - h
+				bot.src += 2 * h * a.sStr
+				bot.dst += 2 * h
+				bot.rowOff += h
+				return tNode(top), tNode(bot)
+			}
+			h := a.cols / 2
+			left, right := a, a
+			left.cols = h
+			right.cols = a.cols - h
+			right.src += 2 * h
+			right.dst += 2 * h * a.dStr
+			right.colOff += h
+			return tNode(left), tNode(right)
+		},
+	}
+}
+
+// twiddle returns ω_n^{i·j} with the given sign convention.
+func twiddle(i, j, n int64, sign int) (re, im float64) {
+	theta := 2 * math.Pi * float64(i%n) * float64(j%n) / float64(n)
+	if sign < 0 {
+		theta = -theta
+	}
+	return math.Cos(theta), math.Sin(theta)
+}
+
+// dftLeaf computes an O(1)-size DFT directly.
+func dftLeaf(src, dst mem.Addr, n int64, sign int) *core.Node {
+	return core.Leaf(4*n, func(c *core.Ctx) {
+		xs := make([]float64, 2*n)
+		for j := int64(0); j < 2*n; j++ {
+			xs[j] = c.RF(src + j)
+		}
+		for k := int64(0); k < n; k++ {
+			var sr, si float64
+			for j := int64(0); j < n; j++ {
+				wr, wi := twiddle(j, k, n, sign)
+				sr += xs[2*j]*wr - xs[2*j+1]*wi
+				si += xs[2*j]*wi + xs[2*j+1]*wr
+				c.Op(1)
+			}
+			c.WF(dst+2*k, sr)
+			c.WF(dst+2*k+1, si)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+// Package gather provides the sort-based EREW data-movement primitives the
+// paper's list-ranking and graph algorithms are built from: Gather
+// (out[i] = vals[idx[i]]) and Scatter (out[idx[i]] = vals[i]) realized as a
+// constant number of HBP sorts and BP scans, so that all memory accesses are
+// either contiguous or key-monotone.  This is what gives list ranking its
+// sort-bound cache complexity O((n/B)·log_M n) rather than the Θ(n) of naive
+// random access.
+//
+// The primitives operate on strided views (LView) because the contracted
+// lists of the list-ranking algorithm are stored gapped — a list of size
+// n/x² lives in space n/x, using every x-th location (Section 3.2) — while
+// the sort temporaries are freshly allocated compact arrays.
+package gather
+
+import (
+	"repro/internal/algos/sortx"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// LView is a strided view of R elements: element i lives at Base + i·Stride.
+// Stride 1 is a plain dense array.
+type LView struct {
+	Base   mem.Addr
+	R      int64
+	Stride int64
+}
+
+// NewLView allocates a strided view of r elements with the given stride.
+func NewLView(sp *mem.Space, r, stride int64) LView {
+	if stride < 1 {
+		stride = 1
+	}
+	return LView{Base: sp.Alloc(r * stride), R: r, Stride: stride}
+}
+
+// Addr returns the address of element i.
+func (v LView) Addr(i int64) mem.Addr { return v.Base + i*v.Stride }
+
+// Get and Set access elements directly (no simulation), for tests and setup.
+func (v LView) Get(sp *mem.Space, i int64) int64    { return sp.Load(v.Addr(i)) }
+func (v LView) Set(sp *mem.Space, i int64, x int64) { sp.Store(v.Addr(i), x) }
+
+// Fill builds a BP computation setting every element to x.
+func Fill(v LView, x int64) *core.Node {
+	return core.MapRange(0, v.R, 1, func(c *core.Ctx, i int64) {
+		c.W(v.Addr(i), x)
+	})
+}
+
+// Copy builds a BP computation copying src to dst elementwise.
+func Copy(src, dst LView) *core.Node {
+	return core.MapRange(0, src.R, 2, func(c *core.Ctx, i int64) {
+		c.W(dst.Addr(i), c.R(src.Addr(i)))
+	})
+}
+
+// Gather builds the HBP computation out[k][i] = vals[k][idx[i]] for every
+// value view k, with out[k][i] = sentinels[k] where idx[i] < 0.  idx values
+// must be distinct (a partial permutation), as they are for list successor
+// pointers.  Cost: two sorts of (1+len(vals))-word records plus three BP
+// scans; reads of vals are key-monotone.
+func Gather(idx LView, vals, outs []LView, sentinels []int64) *core.Node {
+	if len(vals) != len(outs) || len(vals) != len(sentinels) {
+		panic("gather: vals/outs/sentinels length mismatch")
+	}
+	r := idx.R
+	w := int64(2 + len(vals)) // key, origin index, fetched values
+	var recA, recB, recC, recD sortx.Recs
+	nv := len(vals)
+	return core.Stages(2*r*w,
+		func(c *core.Ctx) *core.Node {
+			recA = sortx.Recs{Base: c.Alloc(r * w), N: r, W: w}
+			// recA[i] = (idx[i], i, 0...).
+			return core.MapRange(0, r, w+1, func(c *core.Ctx, i int64) {
+				c.W(recA.Addr(i, 0), c.R(idx.Addr(i)))
+				c.W(recA.Addr(i, 1), i)
+			})
+		},
+		func(c *core.Ctx) *core.Node {
+			recB = sortx.Recs{Base: c.Alloc(r * w), N: r, W: w}
+			return sortx.Sort(recA, recB)
+		},
+		func(c *core.Ctx) *core.Node {
+			// Fetch vals in key order (monotone reads), rekey by origin.
+			recC = sortx.Recs{Base: c.Alloc(r * w), N: r, W: w}
+			return core.MapRange(0, r, w+2, func(c *core.Ctx, j int64) {
+				key := c.R(recB.Addr(j, 0))
+				origin := c.R(recB.Addr(j, 1))
+				c.W(recC.Addr(j, 0), origin)
+				for k := 0; k < nv; k++ {
+					v := sentinels[k]
+					if key >= 0 {
+						v = c.R(vals[k].Addr(key))
+					}
+					c.W(recC.Addr(j, int64(2+k)), v)
+				}
+			})
+		},
+		func(c *core.Ctx) *core.Node {
+			recD = sortx.Recs{Base: c.Alloc(r * w), N: r, W: w}
+			return sortx.Sort(recC, recD)
+		},
+		func(c *core.Ctx) *core.Node {
+			// recD is sorted by origin = 0..r−1, so row i belongs to i.
+			return core.MapRange(0, r, w+1, func(c *core.Ctx, i int64) {
+				for k := 0; k < nv; k++ {
+					c.W(outs[k].Addr(i), c.R(recD.Addr(i, int64(2+k))))
+				}
+			})
+		},
+	)
+}
+
+// ScatterMulti builds out[k][idx[i]] = vals[k][i] for all i with idx[i] ≥ 0
+// and every view k, with one sort of (1+len(vals))-word records; writes are
+// key-monotone.  idx values must be distinct.
+func ScatterMulti(idx LView, vals, outs []LView) *core.Node {
+	if len(vals) != len(outs) {
+		panic("gather: vals/outs length mismatch")
+	}
+	r := idx.R
+	w := int64(1 + len(vals))
+	nv := len(vals)
+	var recA, recB sortx.Recs
+	return core.Stages(2*r*w,
+		func(c *core.Ctx) *core.Node {
+			recA = sortx.Recs{Base: c.Alloc(r * w), N: r, W: w}
+			return core.MapRange(0, r, w+1, func(c *core.Ctx, i int64) {
+				c.W(recA.Addr(i, 0), c.R(idx.Addr(i)))
+				for k := 0; k < nv; k++ {
+					c.W(recA.Addr(i, int64(1+k)), c.R(vals[k].Addr(i)))
+				}
+			})
+		},
+		func(c *core.Ctx) *core.Node {
+			recB = sortx.Recs{Base: c.Alloc(r * w), N: r, W: w}
+			return sortx.Sort(recA, recB)
+		},
+		func(c *core.Ctx) *core.Node {
+			return core.MapRange(0, r, w+1, func(c *core.Ctx, j int64) {
+				key := c.R(recB.Addr(j, 0))
+				if key < 0 {
+					return
+				}
+				for k := 0; k < nv; k++ {
+					c.W(outs[k].Addr(key), c.R(recB.Addr(j, int64(1+k))))
+				}
+			})
+		},
+	)
+}
+
+// Scatter builds the HBP computation out[idx[i]] = vals[i] for all i with
+// idx[i] ≥ 0.  idx values must be distinct.  Elements of out not named by
+// any idx are left untouched.  Cost: one sort plus two BP scans; writes to
+// out are key-monotone.
+func Scatter(idx, vals LView, out LView) *core.Node {
+	r := idx.R
+	const w = 2
+	var recA, recB sortx.Recs
+	return core.Stages(2*r*w,
+		func(c *core.Ctx) *core.Node {
+			recA = sortx.Recs{Base: c.Alloc(r * w), N: r, W: w}
+			return core.MapRange(0, r, w+1, func(c *core.Ctx, i int64) {
+				c.W(recA.Addr(i, 0), c.R(idx.Addr(i)))
+				c.W(recA.Addr(i, 1), c.R(vals.Addr(i)))
+			})
+		},
+		func(c *core.Ctx) *core.Node {
+			recB = sortx.Recs{Base: c.Alloc(r * w), N: r, W: w}
+			return sortx.Sort(recA, recB)
+		},
+		func(c *core.Ctx) *core.Node {
+			return core.MapRange(0, r, w+1, func(c *core.Ctx, j int64) {
+				key := c.R(recB.Addr(j, 0))
+				if key >= 0 {
+					c.W(out.Addr(key), c.R(recB.Addr(j, 1)))
+				}
+			})
+		},
+	)
+}

@@ -1,0 +1,222 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func newM(p int) *machine.Machine { return machine.New(machine.Default(p)) }
+
+func run(m *machine.Machine, n *core.Node) core.Result {
+	return core.NewEngine(m, sched.NewPWS(), core.Options{}).Run(n)
+}
+
+func TestGatherPermutation(t *testing.T) {
+	m := newM(4)
+	n := int64(100)
+	vals := NewLView(m.Space, n, 1)
+	idx := NewLView(m.Space, n, 1)
+	out := NewLView(m.Space, n, 1)
+	perm := rand.New(rand.NewSource(1)).Perm(int(n))
+	for i := int64(0); i < n; i++ {
+		vals.Set(m.Space, i, 1000+i)
+		idx.Set(m.Space, i, int64(perm[i]))
+	}
+	run(m, Gather(idx, []LView{vals}, []LView{out}, []int64{-7}))
+	for i := int64(0); i < n; i++ {
+		if got := out.Get(m.Space, i); got != 1000+int64(perm[i]) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, 1000+int64(perm[i]))
+		}
+	}
+}
+
+func TestGatherSentinels(t *testing.T) {
+	m := newM(2)
+	n := int64(10)
+	vals := NewLView(m.Space, n, 1)
+	idx := NewLView(m.Space, n, 1)
+	out := NewLView(m.Space, n, 1)
+	for i := int64(0); i < n; i++ {
+		vals.Set(m.Space, i, i)
+		if i%2 == 0 {
+			idx.Set(m.Space, i, -1)
+		} else {
+			idx.Set(m.Space, i, i)
+		}
+	}
+	run(m, Gather(idx, []LView{vals}, []LView{out}, []int64{-99}))
+	for i := int64(0); i < n; i++ {
+		want := i
+		if i%2 == 0 {
+			want = -99
+		}
+		if got := out.Get(m.Space, i); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestGatherDuplicateKeys(t *testing.T) {
+	// Pointer-jumping produces duplicate indices; gather must replicate.
+	m := newM(4)
+	n := int64(32)
+	vals := NewLView(m.Space, n, 1)
+	idx := NewLView(m.Space, n, 1)
+	out := NewLView(m.Space, n, 1)
+	for i := int64(0); i < n; i++ {
+		vals.Set(m.Space, i, i*i)
+		idx.Set(m.Space, i, i/4) // each key appears 4 times
+	}
+	run(m, Gather(idx, []LView{vals}, []LView{out}, []int64{0}))
+	for i := int64(0); i < n; i++ {
+		if got := out.Get(m.Space, i); got != (i/4)*(i/4) {
+			t.Fatalf("out[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestGatherMultiValues(t *testing.T) {
+	m := newM(4)
+	n := int64(50)
+	v1 := NewLView(m.Space, n, 1)
+	v2 := NewLView(m.Space, n, 1)
+	idx := NewLView(m.Space, n, 1)
+	o1 := NewLView(m.Space, n, 1)
+	o2 := NewLView(m.Space, n, 1)
+	for i := int64(0); i < n; i++ {
+		v1.Set(m.Space, i, i)
+		v2.Set(m.Space, i, -i)
+		idx.Set(m.Space, i, n-1-i)
+	}
+	run(m, Gather(idx, []LView{v1, v2}, []LView{o1, o2}, []int64{0, 0}))
+	for i := int64(0); i < n; i++ {
+		if o1.Get(m.Space, i) != n-1-i || o2.Get(m.Space, i) != -(n-1-i) {
+			t.Fatalf("multi-gather wrong at %d", i)
+		}
+	}
+}
+
+func TestScatterPartial(t *testing.T) {
+	m := newM(4)
+	n := int64(20)
+	vals := NewLView(m.Space, n, 1)
+	idx := NewLView(m.Space, n, 1)
+	out := NewLView(m.Space, n, 1)
+	for i := int64(0); i < n; i++ {
+		out.Set(m.Space, i, -5) // preexisting
+		vals.Set(m.Space, i, 100+i)
+		if i < 10 {
+			idx.Set(m.Space, i, 2*i) // evens get written
+		} else {
+			idx.Set(m.Space, i, -1) // dropped
+		}
+	}
+	run(m, Scatter(idx, vals, out))
+	for i := int64(0); i < n; i++ {
+		want := int64(-5)
+		if i%2 == 0 {
+			want = 100 + i/2
+		}
+		if got := out.Get(m.Space, i); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestScatterMulti(t *testing.T) {
+	m := newM(4)
+	n := int64(30)
+	v1 := NewLView(m.Space, n, 1)
+	v2 := NewLView(m.Space, n, 1)
+	idx := NewLView(m.Space, n, 1)
+	o1 := NewLView(m.Space, n, 1)
+	o2 := NewLView(m.Space, n, 1)
+	for i := int64(0); i < n; i++ {
+		v1.Set(m.Space, i, i+1)
+		v2.Set(m.Space, i, 10*(i+1))
+		idx.Set(m.Space, i, (i+7)%n)
+	}
+	run(m, ScatterMulti(idx, []LView{v1, v2}, []LView{o1, o2}))
+	for i := int64(0); i < n; i++ {
+		src := (i - 7 + n) % n
+		if o1.Get(m.Space, i) != src+1 || o2.Get(m.Space, i) != 10*(src+1) {
+			t.Fatalf("scatterMulti wrong at %d", i)
+		}
+	}
+}
+
+func TestStridedViews(t *testing.T) {
+	// Gapped (strided) views must behave identically to dense ones.
+	m := newM(4)
+	n := int64(40)
+	vals := NewLView(m.Space, n, 5)
+	idx := NewLView(m.Space, n, 3)
+	out := NewLView(m.Space, n, 7)
+	for i := int64(0); i < n; i++ {
+		vals.Set(m.Space, i, i*2)
+		idx.Set(m.Space, i, n-1-i)
+	}
+	run(m, Gather(idx, []LView{vals}, []LView{out}, []int64{0}))
+	for i := int64(0); i < n; i++ {
+		if got := out.Get(m.Space, i); got != (n-1-i)*2 {
+			t.Fatalf("strided gather: out[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestGatherQuickInverseProperty(t *testing.T) {
+	// Gathering through a permutation then through its inverse restores
+	// the original values.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(16 + rng.Intn(48))
+		m := newM(2)
+		vals := NewLView(m.Space, n, 1)
+		p := NewLView(m.Space, n, 1)
+		pinv := NewLView(m.Space, n, 1)
+		mid := NewLView(m.Space, n, 1)
+		back := NewLView(m.Space, n, 1)
+		perm := rng.Perm(int(n))
+		for i := int64(0); i < n; i++ {
+			vals.Set(m.Space, i, rng.Int63n(1000))
+			p.Set(m.Space, i, int64(perm[i]))
+			pinv.Set(m.Space, int64(perm[i]), i)
+		}
+		run(m, Gather(p, []LView{vals}, []LView{mid}, []int64{0}))
+		run2 := core.NewEngine(machineShare(m), sched.NewPWS(), core.Options{})
+		run2.Run(Gather(pinv, []LView{mid}, []LView{back}, []int64{0}))
+		for i := int64(0); i < n; i++ {
+			if back.Get(m.Space, i) != vals.Get(m.Space, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func machineShare(old *machine.Machine) *machine.Machine {
+	m := machine.New(old.Cfg)
+	m.Space = old.Space
+	return m
+}
+
+func TestFillAndCopy(t *testing.T) {
+	m := newM(2)
+	a := NewLView(m.Space, 25, 2)
+	b := NewLView(m.Space, 25, 1)
+	run(m, Fill(a, 9))
+	run(m, Copy(a, b))
+	for i := int64(0); i < 25; i++ {
+		if b.Get(m.Space, i) != 9 {
+			t.Fatalf("copy/fill wrong at %d", i)
+		}
+	}
+}

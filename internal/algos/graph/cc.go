@@ -1,0 +1,185 @@
+// Package graph implements the graph algorithms of Section 3.2 built on list
+// ranking: connected components (CC, a Type-4 HBP computation whose dominant
+// cost is Θ(log n) stages of list-ranking-shaped work) and the Euler-tour
+// technique for rooted trees (depth and subtree size), which the paper notes
+// has the same complexity as LR.
+package graph
+
+import (
+	"math/bits"
+
+	"repro/internal/algos/gather"
+	"repro/internal/algos/sortx"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// CC builds the connected-components computation for an undirected graph on
+// n vertices with edge lists eu, ev (m edges, vertex ids in [0,n)).  comp[v]
+// receives the smallest vertex id in v's component.
+//
+// Structure (following [11] at the granularity the paper uses for its
+// bound): ⌈log₂n⌉+1 stages; each stage gathers the endpoints' current
+// components, hooks every root to its smallest neighbouring component, and
+// fully shortcuts the parent forest with ⌈log₂n⌉ pointer-jumping rounds —
+// each round a sort-based gather, so each stage costs a constant number of
+// sorts times log n, matching "log n stages of list ranking".
+func CC(n int64, eu, ev, comp mem.Array) *core.Node {
+	if eu.Len() != ev.Len() || comp.Len() != n {
+		panic("graph: CC shape mismatch")
+	}
+	m := eu.Len()
+	stagesN := int(bits.Len64(uint64(n))) + 1
+	jumpN := int(bits.Len64(uint64(n)))
+
+	parent := gather.LView{} // current parent array, replaced stage by stage
+	compV := gather.LView{Base: comp.Base, R: n, Stride: 1}
+
+	var stages []func(c *core.Ctx) *core.Node
+	// Init: parent[v] = v.
+	stages = append(stages, func(c *core.Ctx) *core.Node {
+		parent = gather.NewLView(c.Space(), n, 1)
+		return core.MapRange(0, n, 1, func(c *core.Ctx, i int64) {
+			c.W(parent.Addr(i), i)
+		})
+	})
+
+	for s := 0; s < stagesN; s++ {
+		stages = append(stages, func(c *core.Ctx) *core.Node {
+			return hookStage(n, m, eu, ev, &parent, jumpN)
+		})
+	}
+
+	// Emit: comp[v] = parent[v].
+	stages = append(stages, func(c *core.Ctx) *core.Node {
+		return gather.Copy(parent, compV)
+	})
+	return core.Stages(4*(n+m), stages...)
+}
+
+// hookStage builds one CC stage over the current parent forest.
+func hookStage(n, m int64, eu, ev mem.Array, parent *gather.LView, jumpN int) *core.Node {
+	euV := gather.LView{Base: eu.Base, R: m, Stride: 1}
+	evV := gather.LView{Base: ev.Base, R: m, Stride: 1}
+	var (
+		pu, pv gather.LView
+		recA   sortx.Recs
+		recB   sortx.Recs
+		hooked gather.LView
+	)
+	stages := []func(c *core.Ctx) *core.Node{
+		// Endpoint components for both edge directions.
+		func(c *core.Ctx) *core.Node {
+			pu = gather.NewLView(c.Space(), 2*m, 1)
+			pv = gather.NewLView(c.Space(), 2*m, 1)
+			arcSrc := gather.NewLView(c.Space(), 2*m, 1)
+			arcDst := gather.NewLView(c.Space(), 2*m, 1)
+			return core.Stages(4*m,
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, m, 4, func(c *core.Ctx, i int64) {
+						u, v := c.R(euV.Addr(i)), c.R(evV.Addr(i))
+						c.W(arcSrc.Addr(i), u)
+						c.W(arcDst.Addr(i), v)
+						c.W(arcSrc.Addr(m+i), v)
+						c.W(arcDst.Addr(m+i), u)
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					return gather.Gather(arcSrc, []gather.LView{*parent}, []gather.LView{pu}, []int64{-1})
+				},
+				func(c *core.Ctx) *core.Node {
+					return gather.Gather(arcDst, []gather.LView{*parent}, []gather.LView{pv}, []int64{-1})
+				},
+			)
+		},
+		// Hook: for each component pu, find the smallest neighbouring pv;
+		// hook pu → pv when pv < pu (larger roots adopt smaller ids).
+		func(c *core.Ctx) *core.Node {
+			recA = sortx.Recs{Base: c.Space().Alloc(2 * m * 2), N: 2 * m, W: 2}
+			return core.MapRange(0, 2*m, 3, func(c *core.Ctx, i int64) {
+				a, b := c.R(pu.Addr(i)), c.R(pv.Addr(i))
+				if a != b {
+					c.W(recA.Addr(i, 0), a*n+b) // composite key: group by a, min b first
+					c.W(recA.Addr(i, 1), b)
+				} else {
+					c.W(recA.Addr(i, 0), -1) // intra-component arc: ignore
+					c.W(recA.Addr(i, 1), -1)
+				}
+			})
+		},
+		func(c *core.Ctx) *core.Node {
+			recB = sortx.Recs{Base: c.Space().Alloc(2 * m * 2), N: 2 * m, W: 2}
+			return sortx.Sort(recA, recB)
+		},
+		func(c *core.Ctx) *core.Node {
+			// Group boundaries: first record of each key-group a holds the
+			// minimum b; hook when b < a.  Writes to parent are distinct
+			// (one per group) and key-monotone.
+			hooked = gather.NewLView(c.Space(), n, 1)
+			return core.Stages(4*m,
+				func(c *core.Ctx) *core.Node {
+					return gather.Fill(hooked, -1)
+				},
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, 2*m, 4, func(c *core.Ctx, j int64) {
+						key := c.R(recB.Addr(j, 0))
+						if key < 0 {
+							return
+						}
+						a := key / n
+						prevA := int64(-1)
+						if j > 0 {
+							if pk := c.R(recB.Addr(j-1, 0)); pk >= 0 {
+								prevA = pk / n
+							}
+						}
+						if a == prevA {
+							return // not the group minimum
+						}
+						b := c.R(recB.Addr(j, 1))
+						if b < a {
+							c.W(hooked.Addr(a), b)
+						}
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					next := gather.NewLView(c.Space(), n, 1)
+					np := parent
+					return core.Stages(2*n,
+						func(c *core.Ctx) *core.Node {
+							return core.MapRange(0, n, 3, func(c *core.Ctx, v int64) {
+								h := c.R(hooked.Addr(v))
+								p := c.R(np.Addr(v))
+								if p == v && h >= 0 {
+									c.W(next.Addr(v), h)
+								} else {
+									c.W(next.Addr(v), p)
+								}
+							})
+						},
+						func(c *core.Ctx) *core.Node {
+							*np = next
+							return nil
+						},
+					)
+				},
+			)
+		},
+	}
+	// Full shortcut: parent ← parent[parent], ⌈log n⌉ times, fresh arrays.
+	for t := 0; t < jumpN; t++ {
+		stages = append(stages, func(c *core.Ctx) *core.Node {
+			pp := gather.NewLView(c.Space(), n, 1)
+			return core.Stages(2*n,
+				func(c *core.Ctx) *core.Node {
+					return gather.Gather(*parent, []gather.LView{*parent}, []gather.LView{pp}, []int64{-1})
+				},
+				func(c *core.Ctx) *core.Node {
+					*parent = pp
+					return nil
+				},
+			)
+		})
+	}
+	return core.Stages(4*(n+m), stages...)
+}

@@ -1,0 +1,266 @@
+package graph
+
+import (
+	"repro/internal/algos/gather"
+	"repro/internal/algos/listrank"
+	"repro/internal/algos/scan"
+	"repro/internal/algos/sortx"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// EulerTour builds the Euler-tour computation for a rooted tree: given the
+// n−1 tree edges (eu[i], ev[i]) and the root, it computes for every vertex
+// its depth (root = 0) and subtree size.  The tour is constructed as a
+// linked list of the 2(n−1) arcs and ranked with the list-ranking algorithm;
+// tree functions then follow from arc positions — the classic Euler-tour
+// technique, which the paper notes has the same complexity as LR.
+//
+// Arc 2i is eu[i]→ev[i]; arc 2i+1 is its twin.  All irregular data movement
+// is sort-based.
+func EulerTour(n int64, eu, ev mem.Array, root int64, depth, subtree mem.Array) *core.Node {
+	m := eu.Len() // number of tree edges, n−1 (0 for a single-vertex tree)
+	if ev.Len() != m || depth.Len() != n || subtree.Len() != n {
+		panic("graph: EulerTour shape mismatch")
+	}
+	if m == 0 {
+		return core.Leaf(2, func(c *core.Ctx) {
+			c.W(depth.Addr(0), 0)
+			c.W(subtree.Addr(0), 1)
+		})
+	}
+	a := 2 * m // arc count
+
+	var (
+		src, dst   gather.LView // arc endpoints
+		sortedRecs sortx.Recs   // arcs sorted by (src, dst)
+		order      gather.LView // order[k] = arc at sorted position k
+		posOf      gather.LView // posOf[arc] = its sorted position
+		nextSame   gather.LView // next sorted position with the same src, or −1
+		firstOf    gather.LView // firstOf[v] = first sorted position with src v
+		twin       gather.LView // twin[arc] = arc id of the reversed arc
+		etsucc     gather.LView // Euler-tour successor (arc ids), −1 at tour end
+		rank       mem.Array    // LR output per arc
+		pos        gather.LView // tour position per arc = a−1−rank
+	)
+	sp := func(c *core.Ctx) *mem.Space { return c.Space() }
+
+	stages := []func(c *core.Ctx) *core.Node{
+		// Arc lists: arc 2i = (u→v), arc 2i+1 = (v→u).
+		func(c *core.Ctx) *core.Node {
+			src = gather.NewLView(sp(c), a, 1)
+			dst = gather.NewLView(sp(c), a, 1)
+			return core.MapRange(0, m, 6, func(c *core.Ctx, i int64) {
+				u, v := c.R(eu.Addr(i)), c.R(ev.Addr(i))
+				c.W(src.Addr(2*i), u)
+				c.W(dst.Addr(2*i), v)
+				c.W(src.Addr(2*i+1), v)
+				c.W(dst.Addr(2*i+1), u)
+			})
+		},
+		// Sort arcs by composite key src·n+dst, payload arc id.
+		func(c *core.Ctx) *core.Node {
+			recs := sortx.Recs{Base: sp(c).Alloc(a * 2), N: a, W: 2}
+			sortedRecs = sortx.Recs{Base: sp(c).Alloc(a * 2), N: a, W: 2}
+			return core.Stages(4*a,
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, a, 3, func(c *core.Ctx, i int64) {
+						c.W(recs.Addr(i, 0), c.R(src.Addr(i))*n+c.R(dst.Addr(i)))
+						c.W(recs.Addr(i, 1), i)
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					return sortx.Sort(recs, sortedRecs)
+				},
+			)
+		},
+		// order, posOf, per-source chains (nextSame) and group heads
+		// (firstOf).  Twins: the k-th arc by (dst,src) is the twin of the
+		// k-th arc by (src,dst), so twin[order_rev[k]] = order[k].
+		func(c *core.Ctx) *core.Node {
+			order = gather.NewLView(sp(c), a, 1)
+			posOf = gather.NewLView(sp(c), a, 1)
+			nextSame = gather.NewLView(sp(c), a, 1)
+			firstOf = gather.NewLView(sp(c), n, 1)
+			return core.Stages(4*a,
+				func(c *core.Ctx) *core.Node {
+					return gather.Fill(firstOf, -1)
+				},
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, a, 6, func(c *core.Ctx, k int64) {
+						arc := c.R(sortedRecs.Addr(k, 1))
+						key := c.R(sortedRecs.Addr(k, 0))
+						s := key / n
+						c.W(order.Addr(k), arc)
+						c.W(posOf.Addr(arc), k)
+						prevS := int64(-1)
+						if k > 0 {
+							prevS = c.R(sortedRecs.Addr(k-1, 0)) / n
+						}
+						if s != prevS {
+							c.W(firstOf.Addr(s), k)
+						}
+						nxt := int64(-1)
+						if k+1 < a && c.R(sortedRecs.Addr(k+1, 0))/n == s {
+							nxt = k + 1
+						}
+						c.W(nextSame.Addr(k), nxt)
+					})
+				},
+			)
+		},
+		// Twins via the reversed sort.
+		func(c *core.Ctx) *core.Node {
+			recs := sortx.Recs{Base: sp(c).Alloc(a * 2), N: a, W: 2}
+			sortedRev := sortx.Recs{Base: sp(c).Alloc(a * 2), N: a, W: 2}
+			twin = gather.NewLView(sp(c), a, 1)
+			return core.Stages(4*a,
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, a, 3, func(c *core.Ctx, i int64) {
+						c.W(recs.Addr(i, 0), c.R(dst.Addr(i))*n+c.R(src.Addr(i)))
+						c.W(recs.Addr(i, 1), i)
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					return sortx.Sort(recs, sortedRev)
+				},
+				func(c *core.Ctx) *core.Node {
+					// twin[sortedRev[k].arc] = order[k].
+					return core.MapRange(0, a, 3, func(c *core.Ctx, k int64) {
+						c.W(twin.Addr(c.R(sortedRev.Addr(k, 1))), c.R(order.Addr(k)))
+					})
+				},
+			)
+		},
+		// Euler-tour successor: etsucc(e) = nextSame(posOf(twin(e))), or
+		// firstOf(dst(e)) when the twin is the last arc out of dst(e); the
+		// tour is broken (−1) where it would re-enter the root's first arc.
+		func(c *core.Ctx) *core.Node {
+			etsucc = gather.NewLView(sp(c), a, 1)
+			return core.MapRange(0, a, 8, func(c *core.Ctx, e int64) {
+				tw := c.R(twin.Addr(e))
+				k := c.R(posOf.Addr(tw))
+				nxt := c.R(nextSame.Addr(k))
+				var succArc int64
+				if nxt >= 0 {
+					succArc = c.R(order.Addr(nxt))
+				} else {
+					succArc = c.R(order.Addr(c.R(firstOf.Addr(c.R(dst.Addr(e))))))
+				}
+				// Break the cycle: the tour starts at the root's first arc.
+				if succArc == c.R(order.Addr(c.R(firstOf.Addr(root)))) {
+					succArc = -1
+				}
+				c.W(etsucc.Addr(e), succArc)
+			})
+		},
+		// Rank the tour.
+		func(c *core.Ctx) *core.Node {
+			succArr := mem.Array{Space: sp(c), Base: etsucc.Base, N: a}
+			rank = mem.NewArray(sp(c), a)
+			return listrank.Rank(succArr, rank, listrank.Options{})
+		},
+		// Positions and tree functions.  Arc e=(u→v) is downward iff
+		// pos(e) < pos(twin(e)); then depth(v) = (#down − #up) among arcs
+		// up to e, and subtree(v) = (pos(twin)−pos(e)+1)/2.
+		func(c *core.Ctx) *core.Node {
+			pos = gather.NewLView(sp(c), a, 1)
+			return core.MapRange(0, a, 3, func(c *core.Ctx, e int64) {
+				c.W(pos.Addr(e), a-1-c.R(rank.Addr(e)))
+			})
+		},
+		func(c *core.Ctx) *core.Node {
+			return treeFunctions(n, a, root, src, dst, twin, pos, depth, subtree)
+		},
+	}
+	return core.Stages(8*a, stages...)
+}
+
+// treeFunctions derives depth and subtree size from tour positions.
+func treeFunctions(n, a, root int64, src, dst, twin, pos gather.LView, depth, subtree mem.Array) *core.Node {
+	sp := func(c *core.Ctx) *mem.Space { return c.Space() }
+	var (
+		twinPos gather.LView // pos of each arc's twin
+		byPos   gather.LView // byPos[p] = ±1 (down/up) at tour position p
+		psum    mem.Array    // prefix sums of byPos
+		downAt  gather.LView // downAt[p] = arc e if e is downward at p else −1
+	)
+	return core.Stages(4*a,
+		func(c *core.Ctx) *core.Node {
+			twinPos = gather.NewLView(sp(c), a, 1)
+			return gather.Gather(twin, []gather.LView{pos}, []gather.LView{twinPos}, []int64{-1})
+		},
+		// Scatter ±1 by position.
+		func(c *core.Ctx) *core.Node {
+			byPos = gather.NewLView(sp(c), a, 1)
+			downAt = gather.NewLView(sp(c), a, 1)
+			sign := gather.NewLView(sp(c), a, 1)
+			downArc := gather.NewLView(sp(c), a, 1)
+			posIdx := gather.LView{Base: pos.Base, R: a, Stride: 1}
+			return core.Stages(4*a,
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, a, 4, func(c *core.Ctx, e int64) {
+						if c.R(pos.Addr(e)) < c.R(twinPos.Addr(e)) {
+							c.W(sign.Addr(e), 1)
+							c.W(downArc.Addr(e), e)
+						} else {
+							c.W(sign.Addr(e), -1)
+							c.W(downArc.Addr(e), -1)
+						}
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					return gather.ScatterMulti(posIdx,
+						[]gather.LView{sign, downArc},
+						[]gather.LView{byPos, downAt})
+				},
+			)
+		},
+		// Prefix-sum the signs along the tour.
+		func(c *core.Ctx) *core.Node {
+			byPosArr := mem.Array{Space: sp(c), Base: byPos.Base, N: a}
+			psum = mem.NewArray(sp(c), a)
+			tree := mem.NewArray(sp(c), core.UpTreeLen(a))
+			scratch := sp(c).Alloc(1)
+			return scan.PrefixSums(byPosArr, psum, tree, scratch)
+		},
+		// Emit: for each downward arc e=(u→v) at position p:
+		// depth[v] = psum[p]; subtree[v] = (twinPos−p+1)/2.  Root handled
+		// directly.
+		func(c *core.Ctx) *core.Node {
+			dv := gather.NewLView(sp(c), a, 1)
+			sv := gather.NewLView(sp(c), a, 1)
+			vid := gather.NewLView(sp(c), a, 1)
+			depthV := gather.LView{Base: depth.Base, R: n, Stride: 1}
+			subV := gather.LView{Base: subtree.Base, R: n, Stride: 1}
+			return core.Stages(4*a,
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, a, 8, func(c *core.Ctx, p int64) {
+						e := c.R(downAt.Addr(p))
+						if e < 0 {
+							c.W(vid.Addr(p), -1)
+							c.W(dv.Addr(p), 0)
+							c.W(sv.Addr(p), 0)
+							return
+						}
+						v := c.R(dst.Addr(e))
+						c.W(vid.Addr(p), v)
+						c.W(dv.Addr(p), c.R(psum.Addr(p)))
+						c.W(sv.Addr(p), (c.R(twinPos.Addr(e))-p+1)/2)
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					return gather.ScatterMulti(vid,
+						[]gather.LView{dv, sv},
+						[]gather.LView{depthV, subV})
+				},
+				func(c *core.Ctx) *core.Node {
+					return core.Leaf(2, func(c *core.Ctx) {
+						c.W(depth.Addr(root), 0)
+						c.W(subtree.Addr(root), n)
+					})
+				},
+			)
+		},
+	)
+}

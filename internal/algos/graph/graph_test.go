@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// ccRef computes components by BFS union-find on plain slices.
+func ccRef(n int, eu, ev []int64) []int64 {
+	parent := make([]int64, n)
+	for i := range parent {
+		parent[i] = int64(i)
+	}
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := range eu {
+		a, b := find(eu[i]), find(ev[i])
+		if a != b {
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+			}
+		}
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = find(int64(i))
+	}
+	return out
+}
+
+func runCC(t *testing.T, p, n int, eu, ev []int64, s core.Scheduler) []int64 {
+	t.Helper()
+	m := machine.New(machine.Default(p))
+	eua := mem.NewArray(m.Space, int64(len(eu)))
+	eva := mem.NewArray(m.Space, int64(len(ev)))
+	comp := mem.NewArray(m.Space, int64(n))
+	eua.CopyIn(eu)
+	eva.CopyIn(ev)
+	core.NewEngine(m, s, core.Options{}).Run(CC(int64(n), eua, eva, comp))
+	return comp.CopyOut()
+}
+
+func TestCCTwoTriangles(t *testing.T) {
+	// Components {0,1,2} and {3,4,5}, plus isolated vertex 6.
+	eu := []int64{0, 1, 2, 3, 4, 5}
+	ev := []int64{1, 2, 0, 4, 5, 3}
+	got := runCC(t, 4, 7, eu, ev, sched.NewPWS())
+	want := ccRef(7, eu, ev)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("comp[%d] = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestCCAdversarialChain(t *testing.T) {
+	// A path with descending labels stresses hook convergence.
+	n := 32
+	var eu, ev []int64
+	for i := 0; i < n-1; i++ {
+		eu = append(eu, int64(n-1-i))
+		ev = append(ev, int64(n-2-i))
+	}
+	got := runCC(t, 4, n, eu, ev, sched.NewPWS())
+	for i := range got {
+		if got[i] != 0 {
+			t.Fatalf("comp[%d] = %d, want 0", i, got[i])
+		}
+	}
+}
+
+func TestCCRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 4; trial++ {
+		n := 20 + rng.Intn(30)
+		mEdges := rng.Intn(2 * n)
+		eu := make([]int64, mEdges)
+		ev := make([]int64, mEdges)
+		for i := range eu {
+			eu[i] = int64(rng.Intn(n))
+			ev[i] = int64(rng.Intn(n))
+		}
+		got := runCC(t, 8, n, eu, ev, sched.NewPWS())
+		want := ccRef(n, eu, ev)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: comp[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// eulerRef computes depth/subtree by DFS on plain slices.
+func eulerRef(n int, eu, ev []int64, root int64) (depth, size []int64) {
+	adj := make([][]int64, n)
+	for i := range eu {
+		adj[eu[i]] = append(adj[eu[i]], ev[i])
+		adj[ev[i]] = append(adj[ev[i]], eu[i])
+	}
+	depth = make([]int64, n)
+	size = make([]int64, n)
+	var dfs func(v, par, d int64)
+	dfs = func(v, par, d int64) {
+		depth[v] = d
+		size[v] = 1
+		for _, w := range adj[v] {
+			if w != par {
+				dfs(w, v, d+1)
+				size[v] += size[w]
+			}
+		}
+	}
+	dfs(root, -1, 0)
+	return depth, size
+}
+
+func runEuler(t *testing.T, p, n int, eu, ev []int64, root int64) (depth, size []int64) {
+	t.Helper()
+	m := machine.New(machine.Default(p))
+	eua := mem.NewArray(m.Space, int64(len(eu)))
+	eva := mem.NewArray(m.Space, int64(len(ev)))
+	da := mem.NewArray(m.Space, int64(n))
+	sa := mem.NewArray(m.Space, int64(n))
+	eua.CopyIn(eu)
+	eva.CopyIn(ev)
+	core.NewEngine(m, sched.NewPWS(), core.Options{}).Run(EulerTour(int64(n), eua, eva, root, da, sa))
+	return da.CopyOut(), sa.CopyOut()
+}
+
+func TestEulerPath(t *testing.T) {
+	// Path 0-1-2-3 rooted at 0.
+	eu := []int64{0, 1, 2}
+	ev := []int64{1, 2, 3}
+	depth, size := runEuler(t, 4, 4, eu, ev, 0)
+	wantD := []int64{0, 1, 2, 3}
+	wantS := []int64{4, 3, 2, 1}
+	for i := range wantD {
+		if depth[i] != wantD[i] || size[i] != wantS[i] {
+			t.Fatalf("v%d: depth=%d size=%d, want %d/%d", i, depth[i], size[i], wantD[i], wantS[i])
+		}
+	}
+}
+
+func TestEulerStar(t *testing.T) {
+	// Star center 2 with leaves 0,1,3,4, rooted at 2.
+	eu := []int64{2, 2, 2, 2}
+	ev := []int64{0, 1, 3, 4}
+	depth, size := runEuler(t, 4, 5, eu, ev, 2)
+	for _, v := range []int{0, 1, 3, 4} {
+		if depth[v] != 1 || size[v] != 1 {
+			t.Fatalf("leaf %d: depth=%d size=%d", v, depth[v], size[v])
+		}
+	}
+	if depth[2] != 0 || size[2] != 5 {
+		t.Fatalf("root: depth=%d size=%d", depth[2], size[2])
+	}
+}
+
+func TestEulerRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 3; trial++ {
+		n := 10 + rng.Intn(20)
+		eu := make([]int64, n-1)
+		ev := make([]int64, n-1)
+		for v := 1; v < n; v++ {
+			eu[v-1] = int64(rng.Intn(v)) // random parent among earlier vertices
+			ev[v-1] = int64(v)
+		}
+		root := int64(rng.Intn(n))
+		gotD, gotS := runEuler(t, 8, n, eu, ev, root)
+		wantD, wantS := eulerRef(n, eu, ev, root)
+		for i := 0; i < n; i++ {
+			if gotD[i] != wantD[i] || gotS[i] != wantS[i] {
+				t.Fatalf("trial %d root %d v%d: depth=%d/%d size=%d/%d",
+					trial, root, i, gotD[i], wantD[i], gotS[i], wantS[i])
+			}
+		}
+	}
+}
+
+func TestEulerSingleVertex(t *testing.T) {
+	depth, size := runEuler(t, 2, 1, nil, nil, 0)
+	if depth[0] != 0 || size[0] != 1 {
+		t.Fatalf("single vertex: depth=%d size=%d", depth[0], size[0])
+	}
+}

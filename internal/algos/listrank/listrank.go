@@ -1,0 +1,420 @@
+// Package listrank implements the resource-oblivious list-ranking algorithm
+// LR of Section 3.2 (a Type-3 HBP computation): O(log log n) phases each
+// eliminate an independent set of at least a third of the list found by a
+// deterministic coloring (Cole–Vishkin coin tossing down to O(1) colors,
+// then extraction per color class), until the list is shorter than
+// n/log n, at which point the algorithm switches to pointer jumping.  Every
+// irregular data movement is a sort-based gather/scatter, giving the
+// sort-bound cache complexity O((n/B)·log_M n).
+//
+// Gapping (Section 3.2): when the contracted list has size n/x² it is
+// written in space n/x, using every x-th location, so once the list is
+// smaller than n/B² no two live elements share a block and the phase incurs
+// no further block misses on the list state.  The gapped layout is the
+// strided-view mechanism of package gather; disable it with Options.NoGap
+// for the ablation experiment.
+package listrank
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/algos/gather"
+	"repro/internal/algos/scan"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Options tunes the algorithm.
+type Options struct {
+	// NoGap disables the gapping of contracted lists (ablation).
+	NoGap bool
+	// JumpThreshold overrides the size at which the algorithm switches to
+	// pointer jumping; 0 means the paper's n/log₂n.
+	JumpThreshold int64
+}
+
+// maxColors is the coloring size at which class-by-class extraction begins;
+// Cole–Vishkin iterations stop once the palette is this small.
+const maxColors = 8
+
+// Rank builds the computation ranking the linked list given by succ:
+// succ[i] is the index of i's successor, or −1 for the tail.  rank[i]
+// receives the number of links from i to the tail (tail gets 0).
+func Rank(succ, rank mem.Array, opt Options) *core.Node {
+	n := succ.Len()
+	if rank.Len() != n {
+		panic("listrank: rank length mismatch")
+	}
+	var lv level
+	return core.Stages(4*n,
+		func(c *core.Ctx) *core.Node {
+			lv = level{
+				n: n, r: n, stride: 1,
+				id:   gather.NewLView(c.Space(), n, 1),
+				succ: gather.NewLView(c.Space(), n, 1),
+				w:    gather.NewLView(c.Space(), n, 1),
+			}
+			return core.MapRange(0, n, 4, func(c *core.Ctx, i int64) {
+				c.W(lv.id.Addr(i), i)
+				s := c.R(succ.Addr(i))
+				c.W(lv.succ.Addr(i), s)
+				if s >= 0 {
+					c.W(lv.w.Addr(i), 1)
+				} else {
+					c.W(lv.w.Addr(i), 0)
+				}
+			})
+		},
+		func(c *core.Ctx) *core.Node {
+			return levelNode(lv, rank, opt)
+		},
+	)
+}
+
+// level is the state of one recursion level: r live elements stored with the
+// given stride (gapping).  id maps local index → original node id; succ is a
+// local index or −1; w is the weight of the outgoing link, maintaining the
+// invariant rank(v) = w[v] + rank(succ(v)) with rank(tail) = 0.
+type level struct {
+	n, r, stride int64
+	id, succ, w  gather.LView
+}
+
+func jumpThreshold(n int64, opt Options) int64 {
+	if opt.JumpThreshold > 0 {
+		return opt.JumpThreshold
+	}
+	lg := int64(bits.Len64(uint64(n)))
+	if lg < 1 {
+		lg = 1
+	}
+	t := n / lg
+	if t < 8 {
+		t = 8
+	}
+	return t
+}
+
+// levelNode dispatches between a contraction phase and the pointer-jumping
+// endgame.
+func levelNode(lv level, rank mem.Array, opt Options) *core.Node {
+	if lv.r <= jumpThreshold(lv.n, opt) {
+		return jumpNode(lv, rank)
+	}
+	return contractNode(lv, rank, opt)
+}
+
+// cvIters returns the number of Cole–Vishkin iterations needed to reduce an
+// r-coloring to at most maxColors colors.
+func cvIters(r int64) int {
+	colors := r
+	iters := 0
+	for colors > maxColors && iters < 8 {
+		colors = 2 * int64(bits.Len64(uint64(colors-1)))
+		iters++
+	}
+	return iters
+}
+
+// contractNode builds one elimination phase: color, extract an independent
+// set, splice it out, compact (with gapping), recurse, and expand.
+func contractNode(lv level, rank mem.Array, opt Options) *core.Node {
+	r := lv.r
+	sp := func(c *core.Ctx) *mem.Space { return c.Space() }
+	iters := cvIters(r)
+
+	// Shared state across stages (filled in as stages execute).
+	var (
+		iotaV   gather.LView
+		pred    gather.LView
+		color   gather.LView
+		inIS    gather.LView
+		isSucc  gather.LView // inIS[succ[v]]
+		wSucc   gather.LView // w[succ[v]]
+		ssSucc  gather.LView // succ[succ[v]]
+		idSucc  gather.LView // id[succ[v]]
+		nSucc   gather.LView // post-splice successor (local index)
+		nW      gather.LView // post-splice weight
+		keep    mem.Array
+		pos     mem.Array
+		newLv   level
+		rSucc   gather.LView // rank of original successor, for expansion
+		expVal  gather.LView
+		expIdx  gather.LView
+		scatIdx gather.LView
+	)
+
+	stages := []func(c *core.Ctx) *core.Node{
+		// iota and predecessor pointers: pred[succ[v]] = v, −1 elsewhere.
+		func(c *core.Ctx) *core.Node {
+			iotaV = gather.NewLView(sp(c), r, 1)
+			pred = gather.NewLView(sp(c), r, 1)
+			return core.Stages(2*r,
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, r, 2, func(c *core.Ctx, i int64) {
+						c.W(iotaV.Addr(i), i)
+						c.W(pred.Addr(i), -1)
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					return gather.Scatter(lv.succ, iotaV, pred)
+				},
+			)
+		},
+		// Initial coloring: color[v] = v.
+		func(c *core.Ctx) *core.Node {
+			color = gather.NewLView(sp(c), r, 1)
+			return gather.Copy(iotaV, color)
+		},
+	}
+
+	// Cole–Vishkin iterations: new color = 2k + bit_k(color), where k is the
+	// lowest bit position at which color differs from the successor's color.
+	for t := 0; t < iters; t++ {
+		stages = append(stages, func(c *core.Ctx) *core.Node {
+			cs := gather.NewLView(sp(c), r, 1)
+			next := gather.NewLView(sp(c), r, 1)
+			return core.Stages(2*r,
+				func(c *core.Ctx) *core.Node {
+					return gather.Gather(lv.succ, []gather.LView{color}, []gather.LView{cs}, []int64{-1})
+				},
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, r, 4, func(c *core.Ctx, i int64) {
+						own := c.R(color.Addr(i))
+						sc := c.R(cs.Addr(i))
+						var k int
+						if sc >= 0 {
+							k = bits.TrailingZeros64(uint64(own ^ sc))
+						}
+						c.Op(1)
+						c.W(next.Addr(i), int64(2*k)+(own>>k)&1)
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					color = next
+					return nil // stage list exhausted via nil
+				},
+			)
+		})
+	}
+
+	// Independent-set extraction, one pass per color class.
+	stages = append(stages, func(c *core.Ctx) *core.Node {
+		inIS = gather.NewLView(sp(c), r, 1)
+		return gather.Fill(inIS, 0)
+	})
+	for class := int64(0); class < maxColors; class++ {
+		cls := class
+		stages = append(stages, func(c *core.Ctx) *core.Node {
+			sIS := gather.NewLView(sp(c), r, 1)
+			pIS := gather.NewLView(sp(c), r, 1)
+			return core.Stages(2*r,
+				func(c *core.Ctx) *core.Node {
+					return gather.Gather(lv.succ, []gather.LView{inIS}, []gather.LView{sIS}, []int64{0})
+				},
+				func(c *core.Ctx) *core.Node {
+					return gather.Gather(pred, []gather.LView{inIS}, []gather.LView{pIS}, []int64{0})
+				},
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, r, 5, func(c *core.Ctx, i int64) {
+						if c.R(color.Addr(i)) != cls {
+							return
+						}
+						if c.R(lv.succ.Addr(i)) < 0 {
+							return // keep the tail as the rank anchor
+						}
+						if c.R(sIS.Addr(i)) == 0 && c.R(pIS.Addr(i)) == 0 {
+							c.W(inIS.Addr(i), 1)
+						}
+					})
+				},
+			)
+		})
+	}
+
+	stages = append(stages,
+		// Splice info: fetch (inIS, w, succ, id) of each successor.
+		func(c *core.Ctx) *core.Node {
+			isSucc = gather.NewLView(sp(c), r, 1)
+			wSucc = gather.NewLView(sp(c), r, 1)
+			ssSucc = gather.NewLView(sp(c), r, 1)
+			idSucc = gather.NewLView(sp(c), r, 1)
+			return gather.Gather(lv.succ,
+				[]gather.LView{inIS, lv.w, lv.succ, lv.id},
+				[]gather.LView{isSucc, wSucc, ssSucc, idSucc},
+				[]int64{0, 0, -1, -1})
+		},
+		// Splice: survivors whose successor is in the IS skip over it.
+		func(c *core.Ctx) *core.Node {
+			nSucc = gather.NewLView(sp(c), r, 1)
+			nW = gather.NewLView(sp(c), r, 1)
+			return core.MapRange(0, r, 6, func(c *core.Ctx, i int64) {
+				s := c.R(lv.succ.Addr(i))
+				w := c.R(lv.w.Addr(i))
+				if s >= 0 && c.R(isSucc.Addr(i)) == 1 {
+					c.W(nSucc.Addr(i), c.R(ssSucc.Addr(i)))
+					c.W(nW.Addr(i), w+c.R(wSucc.Addr(i)))
+				} else {
+					c.W(nSucc.Addr(i), s)
+					c.W(nW.Addr(i), w)
+				}
+			})
+		},
+		// Survivor positions via prefix sums.
+		func(c *core.Ctx) *core.Node {
+			keep = mem.NewArray(sp(c), r)
+			return core.MapRange(0, r, 2, func(c *core.Ctx, i int64) {
+				c.W(keep.Addr(i), 1-c.R(inIS.Addr(i)))
+			})
+		},
+		func(c *core.Ctx) *core.Node {
+			pos = mem.NewArray(sp(c), r)
+			tree := mem.NewArray(sp(c), core.UpTreeLen(r))
+			scratch := sp(c).Alloc(1)
+			return scan.PrefixSums(keep, pos, tree, scratch)
+		},
+		// Build the contracted level: translate successor pointers to new
+		// positions and scatter the survivor state into (gapped) arrays.
+		func(c *core.Ctx) *core.Node {
+			newR := c.R(pos.Addr(r - 1))
+			stride := int64(1)
+			if !opt.NoGap && newR > 0 {
+				stride = isqrt(lv.n / newR)
+				if stride < 1 {
+					stride = 1
+				}
+			}
+			newLv = level{
+				n: lv.n, r: newR, stride: stride,
+				id:   gather.NewLView(sp(c), newR, stride),
+				succ: gather.NewLView(sp(c), newR, stride),
+				w:    gather.NewLView(sp(c), newR, stride),
+			}
+			// New-position lookup for each (post-splice) successor.
+			posSucc := gather.NewLView(sp(c), r, 1)
+			posV := gather.LView{Base: pos.Base, R: r, Stride: 1}
+			newSuccIdx := gather.NewLView(sp(c), r, 1)
+			scatIdx = gather.NewLView(sp(c), r, 1)
+			return core.Stages(2*r,
+				func(c *core.Ctx) *core.Node {
+					return gather.Gather(nSucc, []gather.LView{posV}, []gather.LView{posSucc}, []int64{0})
+				},
+				func(c *core.Ctx) *core.Node {
+					return core.MapRange(0, r, 5, func(c *core.Ctx, i int64) {
+						if c.R(keep.Addr(i)) == 1 {
+							c.W(scatIdx.Addr(i), c.R(pos.Addr(i))-1)
+						} else {
+							c.W(scatIdx.Addr(i), -1)
+						}
+						if c.R(nSucc.Addr(i)) >= 0 {
+							c.W(newSuccIdx.Addr(i), c.R(posSucc.Addr(i))-1)
+						} else {
+							c.W(newSuccIdx.Addr(i), -1)
+						}
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					return gather.ScatterMulti(scatIdx,
+						[]gather.LView{lv.id, newSuccIdx, nW},
+						[]gather.LView{newLv.id, newLv.succ, newLv.w})
+				},
+			)
+		},
+		// Recurse on the contracted list.
+		func(c *core.Ctx) *core.Node {
+			if newLv.r >= lv.r { // defensive: no progress, finish by jumping
+				return jumpNode(lv, rank)
+			}
+			return levelNode(newLv, rank, opt)
+		},
+		// Expansion: removed nodes take rank = w + rank(original successor).
+		func(c *core.Ctx) *core.Node {
+			rSucc = gather.NewLView(sp(c), r, 1)
+			rankV := gather.LView{Base: rank.Base, R: rank.Len(), Stride: 1}
+			return gather.Gather(idSucc, []gather.LView{rankV}, []gather.LView{rSucc}, []int64{0})
+		},
+		func(c *core.Ctx) *core.Node {
+			expVal = gather.NewLView(sp(c), r, 1)
+			expIdx = gather.NewLView(sp(c), r, 1)
+			return core.MapRange(0, r, 5, func(c *core.Ctx, i int64) {
+				if c.R(inIS.Addr(i)) == 1 {
+					c.W(expIdx.Addr(i), c.R(lv.id.Addr(i)))
+					c.W(expVal.Addr(i), c.R(lv.w.Addr(i))+c.R(rSucc.Addr(i)))
+				} else {
+					c.W(expIdx.Addr(i), -1)
+					c.W(expVal.Addr(i), 0)
+				}
+			})
+		},
+		func(c *core.Ctx) *core.Node {
+			rankV := gather.LView{Base: rank.Base, R: rank.Len(), Stride: 1}
+			return gather.Scatter(expIdx, expVal, rankV)
+		},
+	)
+
+	return core.Stages(4*r, stages...)
+}
+
+// jumpNode ranks a list of size r by ⌈log₂r⌉ rounds of pointer jumping, each
+// round a sort-based gather plus a BP map into fresh arrays (limited access),
+// then scatters the ranks to the global rank array by original id.
+func jumpNode(lv level, rank mem.Array) *core.Node {
+	r := lv.r
+	rounds := bits.Len64(uint64(r))
+	cur := lv
+	var stages []func(c *core.Ctx) *core.Node
+	for t := 0; t < rounds; t++ {
+		stages = append(stages, func(c *core.Ctx) *core.Node {
+			ws := gather.NewLView(c.Space(), r, 1)
+			ss := gather.NewLView(c.Space(), r, 1)
+			nw := gather.NewLView(c.Space(), r, cur.stride)
+			ns := gather.NewLView(c.Space(), r, cur.stride)
+			return core.Stages(2*r,
+				func(c *core.Ctx) *core.Node {
+					return gather.Gather(cur.succ,
+						[]gather.LView{cur.w, cur.succ},
+						[]gather.LView{ws, ss}, []int64{0, -1})
+				},
+				func(c *core.Ctx) *core.Node {
+					old := cur
+					return core.MapRange(0, r, 5, func(c *core.Ctx, i int64) {
+						s := c.R(old.succ.Addr(i))
+						w := c.R(old.w.Addr(i))
+						if s >= 0 {
+							c.W(nw.Addr(i), w+c.R(ws.Addr(i)))
+							c.W(ns.Addr(i), c.R(ss.Addr(i)))
+						} else {
+							c.W(nw.Addr(i), w)
+							c.W(ns.Addr(i), -1)
+						}
+					})
+				},
+				func(c *core.Ctx) *core.Node {
+					cur = level{n: cur.n, r: r, stride: cur.stride, id: cur.id, succ: ns, w: nw}
+					return nil
+				},
+			)
+		})
+	}
+	stages = append(stages, func(c *core.Ctx) *core.Node {
+		rankV := gather.LView{Base: rank.Base, R: rank.Len(), Stride: 1}
+		return gather.Scatter(cur.id, cur.w, rankV)
+	})
+	return core.Stages(4*r, stages...)
+}
+
+// isqrt returns ⌊√x⌋.
+func isqrt(x int64) int64 {
+	if x < 0 {
+		return 0
+	}
+	r := int64(math.Sqrt(float64(x)))
+	for r*r > x {
+		r--
+	}
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}

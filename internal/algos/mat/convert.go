@@ -1,0 +1,49 @@
+package mat
+
+import "repro/internal/core"
+
+// RMtoBI builds the layout conversion of Section 3.2: dst (BI) receives the
+// contents of src (RM).  The quadrant recursion arranges all writes in BI
+// order, so stolen tasks share L(r) = O(1) blocks for writing; reads from
+// the RM source are f(r) = O(√r)-friendly.
+func RMtoBI(src, dst View) *core.Node {
+	if src.Layout != RM || dst.Layout != BI || src.Rows != dst.Rows || src.Cols != dst.Cols {
+		panic("mat: RMtoBI requires an RM source and BI destination of equal size")
+	}
+	return quadCopy(src, dst)
+}
+
+// DirectBItoRM builds the naive conversion: same quadrant recursion, but the
+// writes land in the RM destination, so both f(r) and L(r) are √r — parallel
+// tasks share Θ(√r) row-fragments of blocks and ping-pong them.  This is the
+// baseline the gapping technique improves on (experiment EXP07).
+func DirectBItoRM(src, dst View) *core.Node {
+	if src.Layout != BI || dst.Layout != RM || src.Rows != dst.Rows || src.Cols != dst.Cols {
+		panic("mat: DirectBItoRM requires a BI source and RM destination of equal size")
+	}
+	return quadCopy(src, dst)
+}
+
+// quadCopy copies src into dst by parallel quadrant recursion; layouts are
+// arbitrary, the leaves address through the views.
+func quadCopy(src, dst View) *core.Node {
+	n := src.Rows
+	if n == 1 {
+		return core.Leaf(2*src.Elem, func(c *core.Ctx) {
+			copyElem(c, src.Addr(0, 0), dst.Addr(0, 0), src.Elem)
+		})
+	}
+	return &core.Node{
+		Size:  2 * src.Words(),
+		Label: "quadcopy",
+		Fork: func(c *core.Ctx) (*core.Node, *core.Node) {
+			return core.Spread([]*core.Node{
+					quadCopy(src.Quad(0), dst.Quad(0)),
+					quadCopy(src.Quad(1), dst.Quad(1)),
+				}), core.Spread([]*core.Node{
+					quadCopy(src.Quad(2), dst.Quad(2)),
+					quadCopy(src.Quad(3), dst.Quad(3)),
+				})
+		},
+	}
+}

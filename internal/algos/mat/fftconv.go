@@ -1,0 +1,81 @@
+package mat
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// BIRMforFFT builds the "BI-RM for FFT" conversion of Section 3.2: an
+// O(log n)-depth, O(n² log log n)-work Type-2 HBP computation.  The n²-word
+// BI array is divided into subproblems of side s ≈ √n that are recursively
+// converted to RM order in fresh scratch space; a BP computation then copies
+// the sub-matrices into the destination, accessing data in the RM order of
+// the target, so writes share L(r) = O(1) blocks and reads are
+// f(r) = O(√r)-friendly given a tall cache.
+func BIRMforFFT(src, dst View) *core.Node {
+	if src.Layout != BI || dst.Layout != RM || src.Rows != dst.Rows || src.Cols != dst.Cols {
+		panic("mat: BIRMforFFT requires a BI source and RM destination of equal size")
+	}
+	return fftConv(src, dst)
+}
+
+func fftConv(src, dst View) *core.Node {
+	m := src.Rows
+	if m <= 2 {
+		// Base case: O(1) elements, copy directly.
+		return core.Leaf(2*src.Words(), func(c *core.Ctx) {
+			for i := int64(0); i < m; i++ {
+				for j := int64(0); j < m; j++ {
+					copyElem(c, src.Addr(i, j), dst.Addr(i, j), src.Elem)
+				}
+			}
+		})
+	}
+	s := chunkSide(m)
+	q := m / s // chunks per side; q² chunks of side s
+	var scratch mem.Addr
+	return &core.Node{
+		Size:  2 * src.Words(),
+		Label: "birm-fft",
+		Seq: func(c *core.Ctx, stage int) *core.Node {
+			switch stage {
+			case 0:
+				// The scratch holding the recursively converted chunks is
+				// declared at the start of the calling procedure
+				// (Definition 3.4's data-transfer rule).
+				scratch = c.Alloc(src.Words())
+				subs := make([]*core.Node, 0, q*q)
+				for k := int64(0); k < q*q; k++ {
+					chunk := src
+					chunk.Base = src.Base + k*s*s*src.Elem
+					chunk.Rows, chunk.Cols = s, s
+					chunkDst := NewRM(scratch+k*s*s*src.Elem, s, s, s, src.Elem)
+					subs = append(subs, fftConv(chunk, chunkDst))
+				}
+				return core.Spread(subs)
+			case 1:
+				// BP copy in RM order of the destination.
+				elem := src.Elem
+				return core.MapRange(0, m*m, 2*elem, func(c *core.Ctx, t int64) {
+					i, j := t/m, t%m
+					k := Morton(i/s, j/s)
+					from := scratch + (k*s*s+(i%s)*s+(j%s))*elem
+					copyElem(c, from, dst.Addr(i, j), elem)
+				})
+			default:
+				return nil
+			}
+		},
+	}
+}
+
+// chunkSide returns the recursive chunk side for an m×m conversion:
+// 2^⌊log₂(m)/2⌋, i.e. ≈√m, so the m² elements split into ≈m subproblems of
+// size ≈m, giving the log log recursion depth of the paper.
+func chunkSide(m int64) int64 {
+	lg := 0
+	for x := m; x > 1; x >>= 1 {
+		lg++
+	}
+	return int64(1) << (lg / 2)
+}

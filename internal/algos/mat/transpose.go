@@ -1,0 +1,91 @@
+package mat
+
+import "repro/internal/core"
+
+// MT builds the matrix-transposition BP computation of Section 3.2 for
+// square matrices in the BI layout: dst = srcᵀ.  Exposing the parallelism of
+// the recursive algorithm of Frigo et al. yields a BP computation with
+// f(r) = O(1) and L(r) = O(1): every quadrant task reads and writes
+// contiguous ranges of the BI arrays.
+func MT(src, dst View) *core.Node {
+	if src.Layout != BI || dst.Layout != BI || src.Rows != dst.Rows {
+		panic("mat: MT requires equal-size BI views")
+	}
+	return mtNode(src, dst)
+}
+
+func mtNode(src, dst View) *core.Node {
+	n := src.Rows
+	if n == 1 {
+		return core.Leaf(2*src.Elem, func(c *core.Ctx) {
+			copyElem(c, src.Addr(0, 0), dst.Addr(0, 0), src.Elem)
+		})
+	}
+	// dstᵀ: TL→TL, TR→BL, BL→TR, BR→BR.
+	size := 2 * src.Words()
+	return &core.Node{
+		Size:  size,
+		Label: "mt",
+		Fork: func(c *core.Ctx) (*core.Node, *core.Node) {
+			return core.Spread([]*core.Node{
+					mtNode(src.Quad(0), dst.Quad(0)),
+					mtNode(src.Quad(1), dst.Quad(2)),
+				}), core.Spread([]*core.Node{
+					mtNode(src.Quad(2), dst.Quad(1)),
+					mtNode(src.Quad(3), dst.Quad(3)),
+				})
+		},
+	}
+}
+
+// Transpose builds the rectangular RM transpose dst = srcᵀ (dst is c×r when
+// src is r×c), dividing the longer dimension in half recursively — the
+// cache-oblivious transpose of Frigo et al., used by the six-step FFT.
+// On RM views f(r) = O(√r) and L(r) = O(√r).
+func Transpose(src, dst View) *core.Node {
+	if src.Rows != dst.Cols || src.Cols != dst.Rows {
+		panic("mat: Transpose shape mismatch")
+	}
+	return rectNode(src, dst)
+}
+
+func rectNode(src, dst View) *core.Node {
+	r, c := src.Rows, src.Cols
+	if r == 1 && c == 1 {
+		return core.Leaf(2*src.Elem, func(ctx *core.Ctx) {
+			copyElem(ctx, src.Addr(0, 0), dst.Addr(0, 0), src.Elem)
+		})
+	}
+	size := 2 * r * c * src.Elem
+	return &core.Node{
+		Size:  size,
+		Label: "rectT",
+		Fork: func(ctx *core.Ctx) (*core.Node, *core.Node) {
+			if r >= c {
+				h := r / 2
+				s1, s2 := subRM(src, 0, h, 0, c), subRM(src, h, r, 0, c)
+				d1, d2 := subRM(dst, 0, c, 0, h), subRM(dst, 0, c, h, r)
+				return rectNode(s1, d1), rectNode(s2, d2)
+			}
+			h := c / 2
+			s1, s2 := subRM(src, 0, r, 0, h), subRM(src, 0, r, h, c)
+			d1, d2 := subRM(dst, 0, h, 0, r), subRM(dst, h, c, 0, r)
+			return rectNode(s1, d1), rectNode(s2, d2)
+		},
+	}
+}
+
+// subRM returns the [r0,r1)×[c0,c1) sub-view of an RM view.
+func subRM(v View, r0, r1, c0, c1 int64) View {
+	sub := v
+	sub.Base = v.Addr(r0, c0)
+	sub.Rows, sub.Cols = r1-r0, c1-c0
+	return sub
+}
+
+// copyElem copies one element of elem words through the cache simulation.
+func copyElem(c *core.Ctx, src, dst int64, elem int64) {
+	for k := int64(0); k < elem; k++ {
+		c.W(dst+k, c.R(src+k))
+	}
+}

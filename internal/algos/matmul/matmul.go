@@ -1,0 +1,101 @@
+// Package matmul implements Depth-n-MM: the O(n³)-work cache-oblivious
+// matrix multiplication of Frigo et al., modified as in the companion paper
+// [13] to be limited access.  It is the Type-2 HBP computation the paper's
+// Lemma 4.1(iii)/4.2(iii) analyzes: c = 2 successive collections of 4
+// parallel recursive subproblems of size m/4 (m = n²), followed by a BP
+// addition.
+//
+// The original in-place algorithm accumulates into C with up to n writes per
+// output location; the limited-access variant writes every recursive product
+// into fresh local subarrays and combines them with BP additions, keeping
+// work, depth O(n) and cache complexity Θ(n³/(B√M)) while writing each
+// variable O(1) times.
+package matmul
+
+import (
+	"repro/internal/algos/mat"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Cutoff is the leaf side length.
+const Cutoff = 2
+
+// Mul builds the Depth-n-MM computation out = a·b for n×n BI matrices.
+func Mul(a, b, out mat.View) *core.Node {
+	if a.Layout != mat.BI || b.Layout != mat.BI || out.Layout != mat.BI {
+		panic("matmul: Mul requires BI views")
+	}
+	if a.Rows != b.Rows || a.Rows != out.Rows {
+		panic("matmul: size mismatch")
+	}
+	return mulNode(a, b, out)
+}
+
+func mulNode(a, b, out mat.View) *core.Node {
+	n := a.Rows
+	if n <= Cutoff {
+		return core.Leaf(3*n*n, func(c *core.Ctx) {
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					var s int64
+					for k := int64(0); k < n; k++ {
+						s += c.R(a.Addr(i, k)) * c.R(b.Addr(k, j))
+						c.Op(1)
+					}
+					c.W(out.Addr(i, j), s)
+				}
+			}
+		})
+	}
+
+	h := n / 2
+	q := h * h
+	a11, a12, a21, a22 := a.Quad(0), a.Quad(1), a.Quad(2), a.Quad(3)
+	b11, b12, b21, b22 := b.Quad(0), b.Quad(1), b.Quad(2), b.Quad(3)
+
+	// Two collections of four products each; products land in fresh local
+	// subarrays (limited access), then a BP addition forms the quadrants.
+	var xBase, yBase mem.Addr
+	xv := func(i int) mat.View { return mat.NewBI(xBase+int64(i)*q, h, 1) }
+	yv := func(i int) mat.View { return mat.NewBI(yBase+int64(i)*q, h, 1) }
+
+	return &core.Node{
+		Size:  3 * n * n,
+		Label: "depth-n-mm",
+		Seq: func(c *core.Ctx, stage int) *core.Node {
+			switch stage {
+			case 0:
+				xBase = c.Alloc(4 * q)
+				yBase = c.Alloc(4 * q)
+				// Collection 1: the A·1 half-products.
+				return core.Spread([]*core.Node{
+					mulNode(a11, b11, xv(0)),
+					mulNode(a11, b12, xv(1)),
+					mulNode(a21, b11, xv(2)),
+					mulNode(a21, b12, xv(3)),
+				})
+			case 1:
+				// Collection 2: the A·2 half-products.
+				return core.Spread([]*core.Node{
+					mulNode(a12, b21, yv(0)),
+					mulNode(a12, b22, yv(1)),
+					mulNode(a22, b21, yv(2)),
+					mulNode(a22, b22, yv(3)),
+				})
+			case 2:
+				// BP addition into the output quadrants (contiguous in BI).
+				subs := make([]*core.Node, 4)
+				for i := 0; i < 4; i++ {
+					x, y, dst := xv(i), yv(i), out.Quad(i)
+					subs[i] = core.MapRange(0, q, 3, func(c *core.Ctx, t int64) {
+						c.W(dst.Base+t, c.R(x.Base+t)+c.R(y.Base+t))
+					})
+				}
+				return core.Spread(subs)
+			default:
+				return nil
+			}
+		},
+	}
+}

@@ -1,0 +1,147 @@
+// Package strassen implements Strassen's matrix multiplication as the Type-2
+// HBP computation of Section 3.2: one collection of v = 7 recursive
+// subproblems of size m/4 (m = n² the matrix size), preceded by a BP
+// computation forming the divide-step sums and followed by a BP computation
+// combining the seven products into the output quadrants.
+//
+// The seven recursive products are written into fresh subarrays, so every
+// variable is written a constant number of times — the algorithm is
+// inherently limited access.  With matrices in the BI layout, every task
+// reads and writes contiguous ranges: f(r) = O(1) and L(r) = O(1).
+//
+// Sequential bounds: W(n) = O(n^λ) with λ = log₂7, Q(n,M,B) = Θ(n^λ/(B·M^γ))
+// with γ = λ/2 − 1 (the paper corrects a common typo in this bound).
+package strassen
+
+import (
+	"repro/internal/algos/mat"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Cutoff is the side length at or below which multiplication is done
+// directly by a leaf task; the classical base case keeps leaves O(1)-sized.
+const Cutoff = 2
+
+// Mul builds the Strassen computation c = a·b for n×n BI-layout matrices.
+func Mul(a, b, out mat.View) *core.Node {
+	if a.Layout != mat.BI || b.Layout != mat.BI || out.Layout != mat.BI {
+		panic("strassen: Mul requires BI views")
+	}
+	if a.Rows != b.Rows || a.Rows != out.Rows {
+		panic("strassen: size mismatch")
+	}
+	return mulNode(a, b, out)
+}
+
+func mulNode(a, b, out mat.View) *core.Node {
+	n := a.Rows
+	if n <= Cutoff {
+		return core.Leaf(3*n*n, func(c *core.Ctx) {
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					var s int64
+					for k := int64(0); k < n; k++ {
+						s += c.R(a.Addr(i, k)) * c.R(b.Addr(k, j))
+						c.Op(1)
+					}
+					c.W(out.Addr(i, j), s)
+				}
+			}
+		})
+	}
+
+	h := n / 2
+	q := h * h // words per quadrant
+	m := n * n
+	// Fresh subarrays for the divide-step operands (T_i, U_i) and products
+	// (P_i), allocated when the task head runs.
+	var tBase, uBase, pBase mem.Addr
+	tv := func(i int) mat.View { return mat.NewBI(tBase+int64(i)*q, h, 1) }
+	uv := func(i int) mat.View { return mat.NewBI(uBase+int64(i)*q, h, 1) }
+	pv := func(i int) mat.View { return mat.NewBI(pBase+int64(i)*q, h, 1) }
+
+	a11, a12, a21, a22 := a.Quad(0), a.Quad(1), a.Quad(2), a.Quad(3)
+	b11, b12, b21, b22 := b.Quad(0), b.Quad(1), b.Quad(2), b.Quad(3)
+
+	return &core.Node{
+		Size:  3 * m,
+		Label: "strassen",
+		Seq: func(c *core.Ctx, stage int) *core.Node {
+			switch stage {
+			case 0:
+				tBase = c.Alloc(7 * q)
+				uBase = c.Alloc(7 * q)
+				pBase = c.Alloc(7 * q)
+				// Divide step: the 14 operand combinations, a collection of
+				// BP computations (matrix adds/copies).
+				return core.Spread([]*core.Node{
+					addQ(a11, a22, tv(0)), // T1 = A11+A22
+					addQ(b11, b22, uv(0)), // U1 = B11+B22
+					addQ(a21, a22, tv(1)), // T2 = A21+A22
+					copyQ(b11, uv(1)),     // U2 = B11
+					copyQ(a11, tv(2)),     // T3 = A11
+					subQ(b12, b22, uv(2)), // U3 = B12−B22
+					copyQ(a22, tv(3)),     // T4 = A22
+					subQ(b21, b11, uv(3)), // U4 = B21−B11
+					addQ(a11, a12, tv(4)), // T5 = A11+A12
+					copyQ(b22, uv(4)),     // U5 = B22
+					subQ(a21, a11, tv(5)), // T6 = A21−A11
+					addQ(b11, b12, uv(5)), // U6 = B11+B12
+					subQ(a12, a22, tv(6)), // T7 = A12−A22
+					addQ(b21, b22, uv(6)), // U7 = B21+B22
+				})
+			case 1:
+				// The collection of 7 recursive subproblems.
+				subs := make([]*core.Node, 7)
+				for i := 0; i < 7; i++ {
+					subs[i] = mulNode(tv(i), uv(i), pv(i))
+				}
+				return core.Spread(subs)
+			case 2:
+				// Combine step: C11 = P1+P4−P5+P7, C12 = P3+P5,
+				// C21 = P2+P4, C22 = P1−P2+P3+P6.
+				p1, p2, p3, p4 := pv(0), pv(1), pv(2), pv(3)
+				p5, p6, p7 := pv(4), pv(5), pv(6)
+				c11 := combineQ(out.Quad(0), []mat.View{p1, p4, p5, p7}, []int64{1, 1, -1, 1})
+				c12 := combineQ(out.Quad(1), []mat.View{p3, p5}, []int64{1, 1})
+				c21 := combineQ(out.Quad(2), []mat.View{p2, p4}, []int64{1, 1})
+				c22 := combineQ(out.Quad(3), []mat.View{p1, p2, p3, p6}, []int64{1, -1, 1, 1})
+				return core.Spread([]*core.Node{c11, c12, c21, c22})
+			default:
+				return nil
+			}
+		},
+	}
+}
+
+// addQ, subQ, copyQ build BP computations over contiguous BI quadrants.
+func addQ(x, y, out mat.View) *core.Node { return combine2(x, y, out, 1) }
+func subQ(x, y, out mat.View) *core.Node { return combine2(x, y, out, -1) }
+
+func combine2(x, y, out mat.View, sign int64) *core.Node {
+	w := out.Rows * out.Rows
+	return core.MapRange(0, w, 3, func(c *core.Ctx, t int64) {
+		c.W(out.Base+t, c.R(x.Base+t)+sign*c.R(y.Base+t))
+	})
+}
+
+func copyQ(x, out mat.View) *core.Node {
+	w := out.Rows * out.Rows
+	return core.MapRange(0, w, 2, func(c *core.Ctx, t int64) {
+		c.W(out.Base+t, c.R(x.Base+t))
+	})
+}
+
+// combineQ writes out = Σ signs[k]·ps[k] elementwise.
+func combineQ(out mat.View, ps []mat.View, signs []int64) *core.Node {
+	w := out.Rows * out.Rows
+	k := int64(len(ps) + 1)
+	return core.MapRange(0, w, k, func(c *core.Ctx, t int64) {
+		var s int64
+		for idx, p := range ps {
+			s += signs[idx] * c.R(p.Base+t)
+		}
+		c.W(out.Base+t, s)
+	})
+}

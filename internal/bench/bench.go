@@ -1,0 +1,322 @@
+// Package bench is the experiment harness: one driver per paper artifact
+// (Table 1 and the bound lemmas), each printing a table whose rows mirror
+// what the paper states so that EXPERIMENTS.md can record paper-vs-measured.
+// The drivers are invoked from the root bench_test.go benchmarks and from
+// cmd/hbpbench.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/algos/fft"
+	"repro/internal/algos/graph"
+	"repro/internal/algos/listrank"
+	"repro/internal/algos/mat"
+	"repro/internal/algos/matmul"
+	"repro/internal/algos/scan"
+	"repro/internal/algos/sortx"
+	"repro/internal/algos/strassen"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// Spec describes one run.
+type Spec struct {
+	P           int
+	M           int
+	B           int
+	MissLatency int64
+	Sched       string // "pws" (default) or "rws"
+	Padded      bool
+}
+
+// DefaultSpec is the tall-cache machine used unless a sweep overrides it:
+// M = 1024 words, B = 16 words (M = B²·4), b = 8.
+func DefaultSpec(p int) Spec {
+	return Spec{P: p, M: 1024, B: 16, MissLatency: 8, Sched: "pws"}
+}
+
+func (s Spec) scheduler() core.Scheduler {
+	if s.Sched == "rws" {
+		return sched.NewRWS(12345)
+	}
+	return sched.NewPWS()
+}
+
+// Algo is a catalog entry: a named HBP algorithm with its paper parameters
+// (Table 1 columns) and a builder that allocates inputs on a fresh machine
+// and returns the computation root.  n is the algorithm's natural size
+// parameter (side length for matrix algorithms).
+type Algo struct {
+	Name  string
+	Typ   string // HBP type
+	F     string // f(r) column
+	L     string // L(r) column
+	W     string // W(n) column
+	TInf  string // T∞(n) column
+	Q     string // Q(n,M,B) column
+	Sizes []int64
+	// InputWords converts n to the input size in words (n² for matrices).
+	InputWords func(n int64) int64
+	Build      func(m *machine.Machine, n int64) *core.Node
+}
+
+// Run executes the algorithm at size n under the spec on a fresh machine.
+func Run(a Algo, n int64, spec Spec) core.Result {
+	m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
+	root := a.Build(m, n)
+	eng := core.NewEngine(m, spec.scheduler(), core.Options{Padded: spec.Padded})
+	return eng.Run(root)
+}
+
+// lcg is a tiny deterministic generator for reproducible inputs.
+type lcg uint64
+
+func (g *lcg) next() int64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return int64(*g >> 33)
+}
+
+func fillRand(a mem.Array, seed uint64, mod int64) {
+	g := lcg(seed)
+	for i := int64(0); i < a.Len(); i++ {
+		a.Set(i, g.next()%mod)
+	}
+}
+
+func randPermList(sp *mem.Space, n int64, seed uint64) mem.Array {
+	g := lcg(seed)
+	order := make([]int64, n)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := g.next() % (i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	succ := mem.NewArray(sp, n)
+	for k := int64(0); k < n; k++ {
+		if k == n-1 {
+			succ.Set(order[k], -1)
+		} else {
+			succ.Set(order[k], order[k+1])
+		}
+	}
+	return succ
+}
+
+// Catalog returns every Table-1 algorithm, sized for simulator-scale runs.
+func Catalog() []Algo {
+	return []Algo{
+		{
+			Name: "Scan(M-Sum)", Typ: "1", F: "1", L: "1",
+			W: "O(n)", TInf: "O(log n)", Q: "O(n/B)",
+			Sizes:      []int64{4096, 16384, 65536},
+			InputWords: func(n int64) int64 { return n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				a := mem.NewArray(m.Space, n)
+				fillRand(a, 1, 100)
+				out := m.Space.Alloc(1)
+				tree := mem.NewArray(m.Space, core.UpTreeLen(n))
+				return scan.MSum(a, out, tree)
+			},
+		},
+		{
+			Name: "Scan(PS)", Typ: "1", F: "1", L: "1",
+			W: "O(n)", TInf: "O(log n)", Q: "O(n/B)",
+			Sizes:      []int64{4096, 16384, 65536},
+			InputWords: func(n int64) int64 { return n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				a := mem.NewArray(m.Space, n)
+				fillRand(a, 2, 100)
+				out := mem.NewArray(m.Space, n)
+				tree := mem.NewArray(m.Space, core.UpTreeLen(n))
+				scr := m.Space.Alloc(1)
+				return scan.PrefixSums(a, out, tree, scr)
+			},
+		},
+		{
+			Name: "MT (BI)", Typ: "1", F: "1", L: "1",
+			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
+			Sizes:      []int64{64, 128, 256},
+			InputWords: func(n int64) int64 { return n * n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				src := mat.AllocBI(m.Space, n, 1)
+				dst := mat.AllocBI(m.Space, n, 1)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 3, 1000)
+				return mat.MT(src, dst)
+			},
+		},
+		{
+			Name: "RM to BI", Typ: "1", F: "√r", L: "1",
+			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
+			Sizes:      []int64{64, 128, 256},
+			InputWords: func(n int64) int64 { return n * n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				src := mat.AllocRM(m.Space, n, n, 1)
+				dst := mat.AllocBI(m.Space, n, 1)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 4, 1000)
+				return mat.RMtoBI(src, dst)
+			},
+		},
+		{
+			Name: "Direct BI-RM", Typ: "1", F: "√r", L: "√r",
+			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
+			Sizes:      []int64{64, 128, 256},
+			InputWords: func(n int64) int64 { return n * n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				src := mat.AllocBI(m.Space, n, 1)
+				dst := mat.AllocRM(m.Space, n, n, 1)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 5, 1000)
+				return mat.DirectBItoRM(src, dst)
+			},
+		},
+		{
+			Name: "BI-RM (gap RM)", Typ: "1", F: "√r", L: "gap",
+			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
+			Sizes:      []int64{64, 128, 256},
+			InputWords: func(n int64) int64 { return n * n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				src := mat.AllocBI(m.Space, n, 1)
+				dst := mat.AllocRM(m.Space, n, n, 1)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 6, 1000)
+				return mat.GapBItoRM(src, dst, mat.NewGapLayout(n))
+			},
+		},
+		{
+			Name: "BI-RM for FFT", Typ: "2", F: "√r", L: "1",
+			W: "O(n² lglg n)", TInf: "O(log n)", Q: "O(n²/B · log_M n)",
+			Sizes:      []int64{64, 128, 256},
+			InputWords: func(n int64) int64 { return n * n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				src := mat.AllocBI(m.Space, n, 1)
+				dst := mat.AllocRM(m.Space, n, n, 1)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 7, 1000)
+				return mat.BIRMforFFT(src, dst)
+			},
+		},
+		{
+			Name: "Strassen (BI)", Typ: "2", F: "1", L: "1",
+			W: "O(n^2.81)", TInf: "O(log² n)", Q: "O(n^λ/(B·M^(λ/2−1)))",
+			Sizes:      []int64{16, 32, 64},
+			InputWords: func(n int64) int64 { return n * n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				a := mat.AllocBI(m.Space, n, 1)
+				b := mat.AllocBI(m.Space, n, 1)
+				out := mat.AllocBI(m.Space, n, 1)
+				fillRand(mem.Array{Space: m.Space, Base: a.Base, N: n * n}, 8, 10)
+				fillRand(mem.Array{Space: m.Space, Base: b.Base, N: n * n}, 9, 10)
+				return strassen.Mul(a, b, out)
+			},
+		},
+		{
+			Name: "Depth-n-MM", Typ: "2", F: "1", L: "1",
+			W: "O(n³)", TInf: "O(n)", Q: "O(n³/(B√M))",
+			Sizes:      []int64{16, 32, 64},
+			InputWords: func(n int64) int64 { return n * n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				a := mat.AllocBI(m.Space, n, 1)
+				b := mat.AllocBI(m.Space, n, 1)
+				out := mat.AllocBI(m.Space, n, 1)
+				fillRand(mem.Array{Space: m.Space, Base: a.Base, N: n * n}, 10, 10)
+				fillRand(mem.Array{Space: m.Space, Base: b.Base, N: n * n}, 11, 10)
+				return matmul.Mul(a, b, out)
+			},
+		},
+		{
+			Name: "FFT", Typ: "2", F: "√r", L: "1",
+			W: "O(n log n)", TInf: "O(log n·lglg n)", Q: "O(n/B·log_M n)",
+			Sizes:      []int64{1024, 4096, 16384},
+			InputWords: func(n int64) int64 { return 2 * n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				src := mem.NewCArray(m.Space, n)
+				dst := mem.NewCArray(m.Space, n)
+				g := lcg(12)
+				for i := int64(0); i < n; i++ {
+					src.Set(i, complex(float64(g.next()%1000)/1000, float64(g.next()%1000)/1000))
+				}
+				return fft.Forward(src, dst)
+			},
+		},
+		{
+			Name: "Sort (SPMS-sub)", Typ: "2", F: "√r", L: "1",
+			W: "O(n log n)", TInf: "O(log n·lglg n)*", Q: "O(n/B·log_M n)*",
+			Sizes:      []int64{1024, 4096, 16384},
+			InputWords: func(n int64) int64 { return n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				src := sortx.NewRecs(m.Space, n, 1)
+				dst := sortx.NewRecs(m.Space, n, 1)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n}, 13, 1<<30)
+				return sortx.Sort(src, dst)
+			},
+		},
+		{
+			Name: "LR", Typ: "3", F: "√r", L: "gap",
+			W: "O(n log n)", TInf: "O(log² n·lglg n)", Q: "O(n/B·log_M n)",
+			Sizes:      []int64{256, 512, 1024},
+			InputWords: func(n int64) int64 { return n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				succ := randPermList(m.Space, n, 14)
+				rank := mem.NewArray(m.Space, n)
+				return listrank.Rank(succ, rank, listrank.Options{})
+			},
+		},
+		{
+			Name: "CC", Typ: "4", F: "√r", L: "gap",
+			W: "O(n log² n)", TInf: "O(log³ n·lglg n)", Q: "O(n/B·log_M n·log n)",
+			Sizes:      []int64{64, 128, 256},
+			InputWords: func(n int64) int64 { return 3 * n },
+			Build: func(m *machine.Machine, n int64) *core.Node {
+				mEdges := 2 * n
+				eu := mem.NewArray(m.Space, mEdges)
+				ev := mem.NewArray(m.Space, mEdges)
+				fillRand(eu, 15, n)
+				fillRand(ev, 16, n)
+				comp := mem.NewArray(m.Space, n)
+				return graph.CC(n, eu, ev, comp)
+			},
+		},
+	}
+}
+
+// FindAlgo returns the catalog entry with the given name.
+func FindAlgo(name string) (Algo, bool) {
+	for _, a := range Catalog() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Algo{}, false
+}
+
+// Experiment is a registered driver.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(w io.Writer, quick bool)
+}
+
+// Experiments returns all drivers in id order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"EXP01", "Table 1: structural parameters of every HBP algorithm", Exp01Table1},
+		{"EXP02", "Lemma 4.4: BP cache-miss excess is O(pM/B)", Exp02BPCacheExcess},
+		{"EXP03", "Lemma 4.1: Type-2 HBP cache-miss excess", Exp03HBPCacheExcess},
+		{"EXP04", "Lemmas 4.8/4.9/4.2: block-miss (false-sharing) excess", Exp04BlockExcess},
+		{"EXP05", "Obs 4.3 + Cor 4.1: steal counts per priority and attempts", Exp05StealBounds},
+		{"EXP06", "PWS vs RWS: the headline scheduler comparison", Exp06PWSvsRWS},
+		{"EXP07", "Gapping ablation: Direct BI-RM vs BI-RM (gap RM)", Exp07Gapping},
+		{"EXP08", "Padding ablation (§4.7): padded vs standard stacks", Exp08Padding},
+		{"EXP09", "Lemma 4.12: runtime decomposition (W+bQ)/p + sP·T∞", Exp09Runtime},
+		{"EXP10", "Thm 4.1: list ranking bounds and gapping cutoff", Exp10ListRank},
+		{"EXP11", "CC: log n × LR cost shape", Exp11CC},
+		{"EXP12", "Goroutine runtime speedup (real parallelism)", Exp12Goroutine},
+	}
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

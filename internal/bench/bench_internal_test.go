@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Catalog() {
+		if a.Name == "" || seen[a.Name] {
+			t.Errorf("duplicate or empty algorithm name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Sizes) < 2 {
+			t.Errorf("%s: need ≥2 sizes for growth ratios", a.Name)
+		}
+		for i := 1; i < len(a.Sizes); i++ {
+			if a.Sizes[i] <= a.Sizes[i-1] {
+				t.Errorf("%s: sizes not increasing", a.Name)
+			}
+		}
+		if a.Build == nil || a.InputWords == nil {
+			t.Errorf("%s: missing Build/InputWords", a.Name)
+		}
+	}
+	if len(seen) != 13 {
+		t.Errorf("catalog has %d algorithms, want 13 (Table 1)", len(seen))
+	}
+}
+
+func TestFindAlgo(t *testing.T) {
+	if _, ok := FindAlgo("FFT"); !ok {
+		t.Error("FFT not found")
+	}
+	if _, ok := FindAlgo("nope"); ok {
+		t.Error("bogus name found")
+	}
+}
+
+func TestExperimentsRegistered(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 12 {
+		t.Fatalf("%d experiments registered, want 12", len(exps))
+	}
+	for i, e := range exps {
+		if e.Run == nil {
+			t.Errorf("%s has no driver", e.ID)
+		}
+		if !strings.HasPrefix(e.ID, "EXP") {
+			t.Errorf("bad id %q at %d", e.ID, i)
+		}
+	}
+}
+
+func TestRunSmallestScan(t *testing.T) {
+	// One end-to-end run through the harness path used by every driver.
+	a, _ := FindAlgo("Scan(M-Sum)")
+	res := Run(a, 4096, DefaultSpec(4))
+	if res.Work == 0 || res.Total.ColdMisses == 0 {
+		t.Error("empty result from harness run")
+	}
+	if res.Scheduler != "PWS" {
+		t.Errorf("scheduler %q", res.Scheduler)
+	}
+	rws := DefaultSpec(4)
+	rws.Sched = "rws"
+	res2 := Run(a, 4096, rws)
+	if res2.Scheduler != "RWS" {
+		t.Errorf("scheduler %q", res2.Scheduler)
+	}
+}
+
+func TestLemma41FormulaPositive(t *testing.T) {
+	spec := DefaultSpec(8)
+	for _, name := range []string{"Strassen (BI)", "FFT", "Depth-n-MM"} {
+		if f := lemma41Formula(name, 64, 8, spec); f <= 0 {
+			t.Errorf("%s formula = %f", name, f)
+		}
+	}
+}
+
+func TestDeterministicInputs(t *testing.T) {
+	// Same seed → same generated inputs → identical results.
+	a, _ := FindAlgo("Sort (SPMS-sub)")
+	r1 := Run(a, 1024, DefaultSpec(4))
+	r2 := Run(a, 1024, DefaultSpec(4))
+	if r1.Makespan != r2.Makespan || r1.Work != r2.Work {
+		t.Error("harness runs are not reproducible")
+	}
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Exp01Table1 regenerates Table 1: for every algorithm it measures W(n),
+// T∞(n) and Q(n,M,B) across an n-sweep in a serial run (growth ratios are
+// compared against the stated formulas), and measures the per-task
+// parameters f(r) and L(r) with a traced small run on p=4.
+func Exp01Table1(w io.Writer, quick bool) {
+	header(w, "EXP01 — Table 1: structural parameters")
+	fmt.Fprintf(w, "%-16s %-4s %-4s %-4s %-14s %-18s %-20s\n",
+		"Algorithm", "Type", "f(r)", "L(r)", "W(n)", "T∞(n)", "Q(n,M,B)")
+	for _, a := range Catalog() {
+		fmt.Fprintf(w, "%-16s %-4s %-4s %-4s %-14s %-18s %-20s\n",
+			a.Name, a.Typ, a.F, a.L, a.W, a.TInf, a.Q)
+	}
+
+	fmt.Fprintln(w, "\nmeasured (serial, M=1024 B=16):")
+	fmt.Fprintf(w, "%-16s %-8s %-12s %-10s %-10s   %-24s\n",
+		"Algorithm", "n", "W", "T∞", "Q", "growth W/T∞/Q per step")
+	for _, a := range Catalog() {
+		sizes := a.Sizes
+		if quick {
+			sizes = sizes[:2]
+		}
+		var prev core.Result
+		for i, n := range sizes {
+			res := Run(a, n, DefaultSpec(1))
+			growth := ""
+			if i > 0 {
+				growth = fmt.Sprintf("×%.2f / ×%.2f / ×%.2f",
+					ratio(res.Work, prev.Work),
+					ratio(res.CritPath, prev.CritPath),
+					ratio(res.Total.ColdMisses, prev.Total.ColdMisses))
+			}
+			fmt.Fprintf(w, "%-16s %-8d %-12d %-10d %-10d   %s\n",
+				a.Name, n, res.Work, res.CritPath, res.Total.ColdMisses, growth)
+			prev = res
+		}
+	}
+
+	fmt.Fprintln(w, "\nper-task f(r) excess and L(r) sharing (traced, p=4, smallest n):")
+	fmt.Fprintf(w, "%-16s %-10s %-12s %-12s %-10s\n",
+		"Algorithm", "n", "max f-exc", "max L-shared", "balance")
+	for _, a := range Catalog() {
+		n := a.Sizes[0]
+		if a.Name == "CC" || a.Name == "LR" {
+			if quick {
+				// Tracing walks the ancestor chain on every access; the
+				// deep DAGs of LR/CC make that minutes of work.  The full
+				// run (hbpbench, no -quick) includes them.
+				fmt.Fprintf(w, "%-16s %-10s (traced only in the full run)\n", a.Name, "-")
+				continue
+			}
+			n = 64
+		}
+		spec := DefaultSpec(4)
+		m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
+		root := a.Build(m, n)
+		eng := core.NewEngine(m, spec.scheduler(), core.Options{})
+		tr := &trace.Tracer{SampleMinSize: 2}
+		trace.Attach(eng, tr)
+		eng.Run(root)
+		maxL := int64(0)
+		for _, p := range tr.LMeasure() {
+			if p.Shared > maxL {
+				maxL = p.Shared
+			}
+		}
+		fmt.Fprintf(w, "%-16s %-10d %-12d %-12d %-10.2f\n",
+			a.Name, n, tr.MaxFExcess(int64(spec.B)), maxL, tr.BalanceRatio(4))
+	}
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return float64(a) / float64(b)
+}

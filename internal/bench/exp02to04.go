@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Exp02BPCacheExcess checks Lemma 4.4: for BP computations with f(r)=O(√r)
+// and a tall cache, the PWS cache-miss excess over the serial execution is
+// O(p·M/B).  We sweep p at fixed n ≥ Mp and report excess/(pM/B), which the
+// lemma predicts stays bounded by a constant.
+func Exp02BPCacheExcess(w io.Writer, quick bool) {
+	header(w, "EXP02 — Lemma 4.4: BP cache-miss excess ≤ c·p·M/B")
+	algos := []string{"Scan(M-Sum)", "Scan(PS)", "MT (BI)"}
+	procs := []int{2, 4, 8, 16}
+	if quick {
+		procs = []int{2, 8}
+	}
+	fmt.Fprintf(w, "%-14s %-8s %-4s %-10s %-10s %-10s %-12s\n",
+		"Algorithm", "n", "p", "Q(serial)", "Q(PWS)", "excess", "excess/(pM/B)")
+	for _, name := range algos {
+		a, _ := FindAlgo(name)
+		n := a.Sizes[len(a.Sizes)-1]
+		base := Run(a, n, DefaultSpec(1))
+		for _, p := range procs {
+			spec := DefaultSpec(p)
+			res := Run(a, n, spec)
+			excess := res.Total.ColdMisses - base.Total.ColdMisses
+			bound := float64(p) * float64(spec.M) / float64(spec.B)
+			fmt.Fprintf(w, "%-14s %-8d %-4d %-10d %-10d %-10d %-12.3f\n",
+				a.Name, n, p, base.Total.ColdMisses, res.Total.ColdMisses,
+				excess, float64(excess)/bound)
+		}
+	}
+}
+
+// Exp03HBPCacheExcess checks Lemma 4.1 for the Type-2 HBP computations:
+// (i) Strassen (c=1, s(m)=m/4): excess O(p·(M/B)·s*(n²,M));
+// (ii) FFT (c=2, s(n)=√n): excess O(p·(M/B)·log n/log M);
+// (iii) Depth-n-MM (c=2, s(m)=m/4): excess O(p·√n²·M/B · shape).
+func Exp03HBPCacheExcess(w io.Writer, quick bool) {
+	header(w, "EXP03 — Lemma 4.1: Type-2 HBP cache-miss excess")
+	procs := []int{2, 4, 8}
+	if quick {
+		procs = []int{2, 8}
+	}
+	fmt.Fprintf(w, "%-14s %-8s %-4s %-10s %-12s %-12s\n",
+		"Algorithm", "n", "p", "excess", "formula", "excess/formula")
+	for _, name := range []string{"Strassen (BI)", "FFT", "Depth-n-MM"} {
+		a, _ := FindAlgo(name)
+		n := a.Sizes[len(a.Sizes)-1]
+		if quick {
+			n = a.Sizes[1]
+		}
+		base := Run(a, n, DefaultSpec(1))
+		for _, p := range procs {
+			spec := DefaultSpec(p)
+			res := Run(a, n, spec)
+			excess := float64(res.Total.ColdMisses - base.Total.ColdMisses)
+			f := lemma41Formula(name, n, p, spec)
+			fmt.Fprintf(w, "%-14s %-8d %-4d %-10.0f %-12.0f %-12.3f\n",
+				a.Name, n, p, excess, f, excess/f)
+		}
+	}
+}
+
+func lemma41Formula(name string, n int64, p int, spec Spec) float64 {
+	mb := float64(spec.M) / float64(spec.B)
+	pf := float64(p)
+	nf := float64(n)
+	switch name {
+	case "Strassen (BI)":
+		// s*(n², M): iterations of m/4 from n² down to M.
+		s := 1.0
+		for m := nf * nf; m > float64(spec.M); m /= 4 {
+			s++
+		}
+		return pf * mb * s
+	case "FFT":
+		return pf * mb * math.Log2(nf) / math.Log2(float64(spec.M))
+	default:
+		// Depth-n-MM on an n² input: Lemma 4.1(iii) with f(r)=O(1) gives
+		// O(p·√(n²)·M/B) = O(p·n·M/B).
+		return pf * nf * mb
+	}
+}
+
+// Exp04BlockExcess checks the block-miss (false-sharing) bounds: Lemma 4.8
+// gives O(p·B·log B) for a BP down-pass with L(r)=O(1); Lemma 4.2 gives
+// O(pB·log n·lglg B) for FFT and O(pB√n) for Depth-n-MM.  We sweep p and B
+// and report the measured block misses next to the formula value.
+func Exp04BlockExcess(w io.Writer, quick bool) {
+	header(w, "EXP04 — Lemmas 4.8/4.9/4.2: block-miss (false-sharing) excess")
+	fmt.Fprintf(w, "%-14s %-8s %-4s %-4s %-12s %-12s %-12s\n",
+		"Algorithm", "n", "p", "B", "blockMisses", "formula", "meas/formula")
+	type row struct {
+		name string
+		form func(n int64, p, B int) float64
+	}
+	rows := []row{
+		{"Scan(M-Sum)", func(n int64, p, B int) float64 {
+			return float64(p) * float64(B) * math.Log2(float64(B))
+		}},
+		{"MT (BI)", func(n int64, p, B int) float64 {
+			return float64(p) * float64(B) * math.Log2(float64(B))
+		}},
+		{"FFT", func(n int64, p, B int) float64 {
+			return float64(p) * float64(B) * math.Log2(float64(n)) * math.Log2(math.Log2(float64(B))+2)
+		}},
+		{"Depth-n-MM", func(n int64, p, B int) float64 {
+			return float64(p) * float64(B) * float64(n) // √(n²) = n
+		}},
+	}
+	procs := []int{2, 4, 8, 16}
+	blocks := []int{8, 16, 32}
+	if quick {
+		procs = []int{2, 8}
+		blocks = []int{16}
+	}
+	for _, r := range rows {
+		a, _ := FindAlgo(r.name)
+		n := a.Sizes[1]
+		for _, p := range procs {
+			spec := DefaultSpec(p)
+			res := Run(a, n, spec)
+			f := r.form(n, p, spec.B)
+			fmt.Fprintf(w, "%-14s %-8d %-4d %-4d %-12d %-12.0f %-12.3f\n",
+				a.Name, n, p, spec.B, res.BlockMisses(), f, float64(res.BlockMisses())/f)
+		}
+		for _, B := range blocks {
+			spec := DefaultSpec(8)
+			spec.B = B
+			spec.M = 64 * B // keep M/B fixed while B sweeps
+			res := Run(a, n, spec)
+			f := r.form(n, 8, B)
+			fmt.Fprintf(w, "%-14s %-8d %-4d %-4d %-12d %-12.0f %-12.3f\n",
+				a.Name, n, 8, B, res.BlockMisses(), f, float64(res.BlockMisses())/f)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Exp05StealBounds verifies Observation 4.3 (at most p−1 steals of any one
+// priority) and Corollary 4.1 (at most 2·p·D′ steal attempts) exactly, for
+// every algorithm in the catalog.
+func Exp05StealBounds(w io.Writer, quick bool) {
+	header(w, "EXP05 — Obs 4.3 (≤p−1 steals/priority) and Cor 4.1 (≤2pD′ attempts)")
+	procs := []int{2, 4, 8}
+	if quick {
+		procs = []int{4}
+	}
+	fmt.Fprintf(w, "%-16s %-4s %-12s %-8s %-10s %-10s %-6s\n",
+		"Algorithm", "p", "steals/prio", "p-1", "attempts", "2pD'", "ok")
+	for _, a := range Catalog() {
+		n := a.Sizes[0]
+		for _, p := range procs {
+			res := Run(a, n, DefaultSpec(p))
+			maxPrio := res.MaxStealsPerPrio()
+			bound := 2 * int64(p) * int64(res.DistinctPrios)
+			ok := maxPrio <= int64(p-1) && res.StealAttempts <= bound
+			fmt.Fprintf(w, "%-16s %-4d %-12d %-8d %-10d %-10d %-6v\n",
+				a.Name, p, maxPrio, p-1, res.StealAttempts, bound, ok)
+		}
+	}
+}
+
+// Exp06PWSvsRWS is the headline comparison: identical computations under the
+// deterministic PWS scheduler versus classic randomized work stealing.  The
+// paper proves PWS achieves lower caching overhead from steals; RWS steals
+// deeper (smaller) tasks, incurring more excess misses and more block
+// misses.
+func Exp06PWSvsRWS(w io.Writer, quick bool) {
+	header(w, "EXP06 — PWS vs RWS")
+	algos := []string{"Scan(M-Sum)", "MT (BI)", "FFT", "Strassen (BI)"}
+	procs := []int{4, 8}
+	if quick {
+		procs = []int{8}
+	}
+	fmt.Fprintf(w, "%-14s %-4s %-6s %-10s %-10s %-10s %-10s %-10s\n",
+		"Algorithm", "p", "sched", "cacheExc", "blockMiss", "steals", "makespan", "idle")
+	for _, name := range algos {
+		a, _ := FindAlgo(name)
+		n := a.Sizes[1]
+		base := Run(a, n, DefaultSpec(1))
+		for _, p := range procs {
+			for _, s := range []string{"pws", "rws"} {
+				spec := DefaultSpec(p)
+				spec.Sched = s
+				res := Run(a, n, spec)
+				fmt.Fprintf(w, "%-14s %-4d %-6s %-10d %-10d %-10d %-10d %-10d\n",
+					a.Name, p, res.Scheduler,
+					res.Total.ColdMisses-base.Total.ColdMisses,
+					res.BlockMisses(), res.Steals, res.Makespan, res.Total.IdleTime)
+			}
+		}
+	}
+}
+
+// Exp07Gapping is the gapping ablation of Section 3.2: converting BI to RM
+// directly has L(r)=√r (parallel tasks ping-pong row blocks), while the
+// gapped destination gives tasks of size ≥ (B log²B)² zero write sharing at
+// a constant-factor space cost, plus a compress scan.
+func Exp07Gapping(w io.Writer, quick bool) {
+	header(w, "EXP07 — gapping ablation: Direct BI-RM vs BI-RM (gap RM)")
+	sizes := []int64{64, 128, 256}
+	if quick {
+		sizes = []int64{64, 128}
+	}
+	direct, _ := FindAlgo("Direct BI-RM")
+	gapped, _ := FindAlgo("BI-RM (gap RM)")
+	fmt.Fprintf(w, "%-8s %-4s %-22s %-22s %-10s\n",
+		"n", "p", "direct blk/upgrades", "gapped blk/upgrades", "ratio")
+	for _, n := range sizes {
+		for _, p := range []int{8} {
+			d := Run(direct, n, DefaultSpec(p))
+			g := Run(gapped, n, DefaultSpec(p))
+			ratio := float64(d.BlockMisses()+1) / float64(g.BlockMisses()+1)
+			fmt.Fprintf(w, "%-8d %-4d %10d/%-10d %10d/%-10d %-10.2f\n",
+				n, p, d.Total.BlockMisses, d.Total.UpgradeMisses,
+				g.Total.BlockMisses, g.Total.UpgradeMisses, ratio)
+		}
+	}
+}
+
+// Exp08Padding is the §4.7 ablation: padded BP computations allocate √|τ|
+// pads between stack frames so frames of different tasks rarely share a
+// block, cutting the block-wait component of steals to O(b log p).
+func Exp08Padding(w io.Writer, quick bool) {
+	header(w, "EXP08 — padding ablation (§4.7): execution-stack block sharing")
+	algos := []string{"Scan(M-Sum)", "Scan(PS)", "FFT"}
+	fmt.Fprintf(w, "%-14s %-4s %-8s %-12s %-12s %-12s %-12s\n",
+		"Algorithm", "p", "padded", "blockMiss", "blockWait", "makespan", "stackHW")
+	for _, name := range algos {
+		a, _ := FindAlgo(name)
+		n := a.Sizes[1]
+		if quick {
+			n = a.Sizes[0]
+		}
+		for _, padded := range []bool{false, true} {
+			spec := DefaultSpec(8)
+			spec.Padded = padded
+			res := Run(a, n, spec)
+			fmt.Fprintf(w, "%-14s %-4d %-8v %-12d %-12d %-12d %-12d\n",
+				a.Name, 8, padded, res.BlockMisses(), res.Total.BlockWait,
+				res.Makespan, res.StackHighWater)
+		}
+	}
+}
+
+// Exp09Runtime checks Lemma 4.12's running-time form: makespan should be
+// O((W + b·Q)/p + sP·T∞) with sP = b·(1+⌈log₂p⌉).  The ratio
+// makespan/bound should be Θ(1) across p for every Type-1/2 algorithm.
+func Exp09Runtime(w io.Writer, quick bool) {
+	header(w, "EXP09 — Lemma 4.12: makespan vs (W + b·Q)/p + sP·T∞")
+	procs := []int{1, 2, 4, 8, 16}
+	if quick {
+		procs = []int{1, 4, 16}
+	}
+	algos := []string{"Scan(M-Sum)", "Scan(PS)", "MT (BI)", "RM to BI",
+		"BI-RM (gap RM)", "BI-RM for FFT", "Strassen (BI)", "Depth-n-MM", "FFT"}
+	fmt.Fprintf(w, "%-16s %-4s %-12s %-12s %-8s %-10s\n",
+		"Algorithm", "p", "makespan", "bound", "ratio", "speedup")
+	for _, name := range algos {
+		a, _ := FindAlgo(name)
+		n := a.Sizes[1]
+		var serial int64
+		for _, p := range procs {
+			spec := DefaultSpec(p)
+			res := Run(a, n, spec)
+			if p == 1 {
+				serial = res.Makespan
+			}
+			b := spec.MissLatency
+			sP := b * int64(1+ceilLog2(p))
+			q := res.Total.ColdMisses // misses actually incurred
+			bound := (res.Work+b*q)/int64(p) + sP*res.CritPath
+			fmt.Fprintf(w, "%-16s %-4d %-12d %-12d %-8.2f %-10.2f\n",
+				a.Name, p, res.Makespan, bound,
+				float64(res.Makespan)/float64(bound),
+				float64(serial)/float64(res.Makespan))
+		}
+	}
+}
+
+func ceilLog2(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p - 1))
+}

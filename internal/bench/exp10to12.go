@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/algos/listrank"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Exp10ListRank checks Theorem 4.1 / Lemmas 4.13–4.15: LR's serial cache
+// complexity should track the sort bound (n/B)·(log n/log M); its block
+// misses should be tamed by gapping (no list-state block misses once the
+// contracted list is smaller than n/B²).
+func Exp10ListRank(w io.Writer, quick bool) {
+	header(w, "EXP10 — Theorem 4.1: list ranking")
+	sizes := []int64{256, 512, 1024}
+	if quick {
+		sizes = []int64{256, 512}
+	}
+	fmt.Fprintf(w, "%-8s %-10s %-14s %-10s  (serial)\n", "n", "Q", "(n/B)(lg n/lg M)", "ratio")
+	for _, n := range sizes {
+		res := runLR(n, 1, false)
+		bound := float64(n) / 16 * math.Log2(float64(n)) / math.Log2(1024)
+		fmt.Fprintf(w, "%-8d %-10d %-14.0f %-10.2f\n",
+			n, res.Total.ColdMisses, bound, float64(res.Total.ColdMisses)/bound)
+	}
+	fmt.Fprintf(w, "\ngapping ablation (p=8):\n%-8s %-8s %-14s %-14s\n", "n", "gapped", "blockMisses", "makespan")
+	for _, n := range sizes {
+		for _, nogap := range []bool{false, true} {
+			res := runLR(n, 8, nogap)
+			fmt.Fprintf(w, "%-8d %-8v %-14d %-14d\n", n, !nogap, res.BlockMisses(), res.Makespan)
+		}
+	}
+}
+
+func runLR(n int64, p int, nogap bool) core.Result {
+	spec := DefaultSpec(p)
+	m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
+	succ := randPermList(m.Space, n, 14)
+	rank := mem.NewArray(m.Space, n)
+	root := listrank.Rank(succ, rank, listrank.Options{NoGap: nogap})
+	return core.NewEngine(m, spec.scheduler(), core.Options{}).Run(root)
+}
+
+// Exp11CC checks that CC costs ≈ log n times LR at the same size, the shape
+// the paper derives (Section 4.6): work, cache misses and critical path all
+// pick up a log n factor.
+func Exp11CC(w io.Writer, quick bool) {
+	header(w, "EXP11 — CC = log n × LR cost shape")
+	sizes := []int64{64, 128, 256}
+	if quick {
+		sizes = []int64{64, 128}
+	}
+	cc, _ := FindAlgo("CC")
+	fmt.Fprintf(w, "%-8s %-12s %-12s %-10s %-12s %-10s\n",
+		"n", "W(CC)", "W(LR)", "W-ratio", "ratio/lg n", "Q-ratio/lg n")
+	for _, n := range sizes {
+		rcc := Run(cc, n, DefaultSpec(1))
+		rlr := runLR(n, 1, false)
+		lg := math.Log2(float64(n))
+		wr := float64(rcc.Work) / float64(rlr.Work)
+		qr := float64(rcc.Total.ColdMisses) / float64(rlr.Total.ColdMisses)
+		fmt.Fprintf(w, "%-8d %-12d %-12d %-10.2f %-12.2f %-10.2f\n",
+			n, rcc.Work, rlr.Work, wr, wr/lg, qr/lg)
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/rt"
+)
+
+// Exp12Goroutine runs representative workloads on the real goroutine
+// work-stealing runtime (internal/rt) and reports wall-clock speedups for
+// the random (RWS) and priority (PWS-flavoured) victim policies.  This is
+// the usability check: the same fork-join programs the simulator analyzes
+// run with genuine parallelism.
+func Exp12Goroutine(w io.Writer, quick bool) {
+	header(w, "EXP12 — goroutine runtime wall-clock speedup")
+	n := 1 << 22
+	if quick {
+		n = 1 << 20
+	}
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i % 1000)
+	}
+	var want int64
+	for _, v := range data {
+		want += v
+	}
+
+	procs := []int{1, 2, 4, 8}
+	fmt.Fprintf(w, "%-10s %-4s %-10s %-12s %-10s %-8s\n",
+		"workload", "p", "policy", "time", "speedup", "steals")
+	for _, policy := range []rt.Policy{rt.Random, rt.Priority} {
+		name := map[rt.Policy]string{rt.Random: "random", rt.Priority: "priority"}[policy]
+		var base time.Duration
+		for _, p := range procs {
+			pool := rt.NewPool(p, policy)
+			var got int64
+			start := time.Now()
+			pool.Run(func(c *rt.Ctx) {
+				got = c.Reduce(0, n, 2048, func(i int) int64 { return data[i] })
+			})
+			el := time.Since(start)
+			if p == 1 {
+				base = el
+			}
+			status := ""
+			if got != want {
+				status = "  WRONG RESULT"
+			}
+			fmt.Fprintf(w, "%-10s %-4d %-10s %-12v %-10.2f %-8d%s\n",
+				"reduce", p, name, el.Round(time.Microsecond),
+				float64(base)/float64(el), pool.Steals(), status)
+		}
+	}
+}

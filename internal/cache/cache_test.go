@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	s := NewSet(3)
+	s.Insert(1)
+	s.Insert(2)
+	s.Insert(3)
+	s.Touch(1) // order now (MRU→LRU): 1,3,2
+	ev, did := s.Insert(4)
+	if !did || ev != 2 {
+		t.Fatalf("evicted %d (did=%v), want 2", ev, did)
+	}
+	if ok, _ := s.Lookup(2); ok {
+		t.Error("block 2 still resident after eviction")
+	}
+}
+
+func TestInvalidateKeepsFrame(t *testing.T) {
+	s := NewSet(2)
+	s.Insert(5)
+	if !s.Invalidate(5) {
+		t.Fatal("Invalidate returned false for resident block")
+	}
+	present, valid := s.Lookup(5)
+	if !present || valid {
+		t.Fatalf("after invalidation: present=%v valid=%v, want true/false", present, valid)
+	}
+	// Re-inserting revalidates in place without eviction.
+	if _, did := s.Insert(5); did {
+		t.Error("revalidation should not evict")
+	}
+	if !s.ResidentValid(5) {
+		t.Error("block should be valid after re-insert")
+	}
+}
+
+func TestInvalidateMissing(t *testing.T) {
+	s := NewSet(2)
+	if s.Invalidate(42) {
+		t.Error("Invalidate of absent block returned true")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		s := NewSet(4)
+		for _, b := range blocks {
+			s.Insert(int64(b % 32))
+			if s.Len() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUSequentialScanEvicts(t *testing.T) {
+	s := NewSet(4)
+	for b := int64(0); b < 10; b++ {
+		s.Insert(b)
+	}
+	// Only the last 4 remain.
+	for b := int64(0); b < 6; b++ {
+		if ok, _ := s.Lookup(b); ok {
+			t.Errorf("block %d should have been evicted", b)
+		}
+	}
+	for b := int64(6); b < 10; b++ {
+		if !s.ResidentValid(b) {
+			t.Errorf("block %d should be resident", b)
+		}
+	}
+}
+
+func TestDirectorySharers(t *testing.T) {
+	d := NewDirectory(4)
+	d.AddSharer(7, 0)
+	d.AddSharer(7, 2)
+	d.AddSharer(7, 3)
+	if got := d.Sharers(7); len(got) != 3 {
+		t.Fatalf("sharers = %v", got)
+	}
+	victims := d.InvalidateOthers(7, 2)
+	if len(victims) != 2 {
+		t.Fatalf("victims = %v, want procs 0 and 3", victims)
+	}
+	if !d.HasSharer(7, 2) || d.HasSharer(7, 0) {
+		t.Error("sharer set wrong after invalidation")
+	}
+}
+
+func TestDirectoryTransferSerialization(t *testing.T) {
+	// Transfers of the same block serialize: the second transfer starting
+	// "in the past" completes after the first — the ping-pong delay.
+	d := NewDirectory(2)
+	c1 := d.AcquireTransfer(9, 100, 10)
+	if c1 != 110 {
+		t.Fatalf("first transfer completes at %d, want 110", c1)
+	}
+	c2 := d.AcquireTransfer(9, 105, 10)
+	if c2 != 120 {
+		t.Fatalf("contended transfer completes at %d, want 120", c2)
+	}
+	// A different block is unaffected.
+	if c3 := d.AcquireTransfer(10, 105, 10); c3 != 115 {
+		t.Fatalf("uncontended transfer completes at %d, want 115", c3)
+	}
+	if d.BlockTransfers(9) != 2 || d.Transfers != 3 {
+		t.Error("transfer counts wrong")
+	}
+}
+
+func TestBlockDelayAccumulates(t *testing.T) {
+	// Definition 2.2: x interleaved transfers of one block impose Ω(x·b)
+	// delay on the last core.
+	d := NewDirectory(8)
+	var last int64
+	for i := 0; i < 8; i++ {
+		last = d.AcquireTransfer(1, 0, 5)
+	}
+	if last != 40 {
+		t.Fatalf("8 transfers at latency 5 end at %d, want 40", last)
+	}
+	if _, tr := d.MaxBlockTransfers(); tr != 8 {
+		t.Fatalf("max block transfers = %d", tr)
+	}
+}
+
+func TestBitsetManyProcs(t *testing.T) {
+	// Over 64 procs exercises the multi-word bitset.
+	d := NewDirectory(130)
+	for _, p := range []int{0, 63, 64, 100, 129} {
+		d.AddSharer(3, p)
+	}
+	got := d.Sharers(3)
+	want := []int{0, 63, 64, 100, 129}
+	if len(got) != len(want) {
+		t.Fatalf("sharers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sharers = %v, want %v", got, want)
+		}
+	}
+	victims := d.InvalidateOthers(3, 64)
+	if len(victims) != 4 {
+		t.Fatalf("victims = %v", victims)
+	}
+}

@@ -1,0 +1,142 @@
+package cache
+
+import "math/bits"
+
+// Directory is the global coherence directory.  For every block it tracks the
+// set of cores holding a copy and a busy-until timestamp used to serialize
+// transfers of the same block.  The block delay of Definition 2.2 — the
+// number of times a block moves between caches during an interval — is the
+// per-block transfer count maintained here.
+type Directory struct {
+	entries map[int64]*dirEntry
+	nprocs  int
+	// Transfers is the total number of block movements between caches
+	// (cache-to-cache or memory-to-cache after invalidation).
+	Transfers int64
+}
+
+type dirEntry struct {
+	sharers   bitset
+	busyUntil int64
+	transfers int64
+}
+
+// NewDirectory returns a directory for nprocs cores.
+func NewDirectory(nprocs int) *Directory {
+	return &Directory{entries: make(map[int64]*dirEntry), nprocs: nprocs}
+}
+
+func (d *Directory) entry(b int64) *dirEntry {
+	e := d.entries[b]
+	if e == nil {
+		e = &dirEntry{sharers: newBitset(d.nprocs)}
+		d.entries[b] = e
+	}
+	return e
+}
+
+// Sharers returns the cores currently holding block b.
+func (d *Directory) Sharers(b int64) []int {
+	e := d.entries[b]
+	if e == nil {
+		return nil
+	}
+	return e.sharers.members()
+}
+
+// HasSharer reports whether core p holds block b according to the directory.
+func (d *Directory) HasSharer(b int64, p int) bool {
+	e := d.entries[b]
+	return e != nil && e.sharers.has(p)
+}
+
+// AddSharer records that core p now holds block b.
+func (d *Directory) AddSharer(b int64, p int) { d.entry(b).sharers.set(p) }
+
+// RemoveSharer records that core p no longer holds block b (eviction).
+func (d *Directory) RemoveSharer(b int64, p int) {
+	if e := d.entries[b]; e != nil {
+		e.sharers.clear(p)
+	}
+}
+
+// InvalidateOthers removes every sharer of b except keep and returns the
+// list of cores that lost a valid copy.  Called on a write by core keep.
+func (d *Directory) InvalidateOthers(b int64, keep int) []int {
+	e := d.entries[b]
+	if e == nil {
+		return nil
+	}
+	victims := e.sharers.membersExcept(keep)
+	for _, p := range victims {
+		e.sharers.clear(p)
+	}
+	return victims
+}
+
+// AcquireTransfer models one movement of block b into a cache beginning at
+// time now: the transfer cannot start before the previous transfer of the
+// same block finished (busyUntil), takes latency time units, and bumps the
+// block-delay counter.  It returns the completion time; completion−now−latency
+// is the serialization wait caused by contention on the block.
+func (d *Directory) AcquireTransfer(b int64, now, latency int64) (complete int64) {
+	e := d.entry(b)
+	start := now
+	if e.busyUntil > start {
+		start = e.busyUntil
+	}
+	complete = start + latency
+	e.busyUntil = complete
+	e.transfers++
+	d.Transfers++
+	return complete
+}
+
+// BlockTransfers returns the block delay (total transfers) recorded for b.
+func (d *Directory) BlockTransfers(b int64) int64 {
+	if e := d.entries[b]; e != nil {
+		return e.transfers
+	}
+	return 0
+}
+
+// MaxBlockTransfers returns the largest per-block transfer count and the
+// block that attained it.
+func (d *Directory) MaxBlockTransfers() (block int64, transfers int64) {
+	for b, e := range d.entries {
+		if e.transfers > transfers {
+			block, transfers = b, e.transfers
+		}
+	}
+	return block, transfers
+}
+
+// bitset is a small dense bitset over core ids.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (s bitset) set(i int)      { s[i>>6] |= 1 << (uint(i) & 63) }
+func (s bitset) clear(i int)    { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+func (s bitset) members() []int {
+	var out []int
+	for w, word := range s {
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+func (s bitset) membersExcept(skip int) []int {
+	var out []int
+	for _, p := range s.members() {
+		if p != skip {
+			out = append(out, p)
+		}
+	}
+	return out
+}

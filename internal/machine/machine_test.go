@@ -1,0 +1,173 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func cfg(p int) Config { return Config{P: p, M: 128, B: 8, MissLatency: 10} }
+
+func TestScanMissRate(t *testing.T) {
+	// A sequential scan of n words in blocks of B incurs exactly n/B cold
+	// misses — the scan bound Q = O(n/B).
+	m := New(cfg(1))
+	n := int64(256)
+	a := mem.NewArray(m.Space, n)
+	p := m.Procs[0]
+	for i := int64(0); i < n; i++ {
+		p.Read(a.Addr(i))
+	}
+	if p.Stats.ColdMisses != n/8 {
+		t.Errorf("cold misses = %d, want %d", p.Stats.ColdMisses, n/8)
+	}
+	if p.Stats.Hits != n-n/8 {
+		t.Errorf("hits = %d, want %d", p.Stats.Hits, n-n/8)
+	}
+}
+
+func TestCapacityMissOnWrap(t *testing.T) {
+	// Touching 2M words with an M-word cache evicts; a second pass misses
+	// again on every block.
+	m := New(cfg(1))
+	n := int64(256) // 2×M
+	a := mem.NewArray(m.Space, n)
+	p := m.Procs[0]
+	for pass := 0; pass < 2; pass++ {
+		for i := int64(0); i < n; i++ {
+			p.Read(a.Addr(i))
+		}
+	}
+	if p.Stats.ColdMisses != 2*n/8 {
+		t.Errorf("misses = %d, want %d (capacity misses on second pass)", p.Stats.ColdMisses, 2*n/8)
+	}
+}
+
+func TestBlockMissOnInvalidation(t *testing.T) {
+	// The false-sharing pattern of Section 1: two cores alternately write
+	// different words of one block; each write invalidates the other's
+	// copy, so every subsequent access is a block miss.
+	m := New(cfg(2))
+	a := mem.NewArray(m.Space, 8) // one block
+	p0, p1 := m.Procs[0], m.Procs[1]
+
+	p0.Write(a.Addr(0), 1) // cold
+	p1.Write(a.Addr(1), 2) // cold fetch + invalidates p0
+	if p1.Stats.ColdMisses != 1 {
+		t.Fatalf("p1 cold misses = %d", p1.Stats.ColdMisses)
+	}
+	if p0.Stats.InvalsReceived != 1 {
+		t.Fatalf("p0 invalidations received = %d", p0.Stats.InvalsReceived)
+	}
+	p0.Write(a.Addr(2), 3) // block miss (was invalidated) + invalidates p1
+	if p0.Stats.BlockMisses != 1 {
+		t.Fatalf("p0 block misses = %d, want 1", p0.Stats.BlockMisses)
+	}
+	p1.Read(a.Addr(1)) // block miss again
+	if p1.Stats.BlockMisses != 1 {
+		t.Fatalf("p1 block misses = %d, want 1", p1.Stats.BlockMisses)
+	}
+	// The data is still correct throughout.
+	if m.Space.Load(a.Addr(0)) != 1 || m.Space.Load(a.Addr(1)) != 2 || m.Space.Load(a.Addr(2)) != 3 {
+		t.Error("data corrupted by coherence protocol")
+	}
+}
+
+func TestUpgradeMissOnSharedWrite(t *testing.T) {
+	// Both cores read the block (shared); a write by one is an upgrade
+	// miss that invalidates the other.
+	m := New(cfg(2))
+	a := mem.NewArray(m.Space, 8)
+	p0, p1 := m.Procs[0], m.Procs[1]
+	p0.Read(a.Addr(0))
+	p1.Read(a.Addr(0))
+	p0.Write(a.Addr(3), 9)
+	if p0.Stats.UpgradeMisses != 1 {
+		t.Errorf("upgrade misses = %d, want 1", p0.Stats.UpgradeMisses)
+	}
+	if p1.Stats.InvalsReceived != 1 {
+		t.Errorf("p1 invalidations = %d, want 1", p1.Stats.InvalsReceived)
+	}
+}
+
+func TestPingPongDelayGrows(t *testing.T) {
+	// Ω(b·x) delay for x alternating writes (Section 1): the clocks of two
+	// cores ping-ponging one block advance by ≥ b per write, serialized
+	// through the directory.
+	m := New(cfg(2))
+	a := mem.NewArray(m.Space, 8)
+	p0, p1 := m.Procs[0], m.Procs[1]
+	const x = 20
+	for i := 0; i < x; i++ {
+		p0.Write(a.Addr(0), int64(i))
+		p1.Write(a.Addr(1), int64(i))
+	}
+	total := p0.Stats.BlockMisses + p1.Stats.BlockMisses
+	if total < 2*x-4 {
+		t.Errorf("block misses = %d, want ≈%d (ping-pong)", total, 2*x)
+	}
+	if m.Dir.BlockTransfers(m.Space.Block(a.Addr(0))) < 2*x-4 {
+		t.Errorf("block delay = %d transfers, want ≈%d", m.Dir.BlockTransfers(0), 2*x)
+	}
+}
+
+func TestReadSharingNoInvalidation(t *testing.T) {
+	// Pure read sharing is free of block misses.
+	m := New(cfg(4))
+	a := mem.NewArray(m.Space, 8)
+	for _, p := range m.Procs {
+		for i := 0; i < 10; i++ {
+			p.Read(a.Addr(0))
+		}
+	}
+	tot := m.Total()
+	if tot.BlockMisses != 0 || tot.UpgradeMisses != 0 {
+		t.Errorf("read sharing caused %d block + %d upgrade misses", tot.BlockMisses, tot.UpgradeMisses)
+	}
+	if tot.ColdMisses != 4 {
+		t.Errorf("cold misses = %d, want 4 (one per core)", tot.ColdMisses)
+	}
+}
+
+func TestMissLatencyCharged(t *testing.T) {
+	m := New(cfg(1))
+	a := mem.NewArray(m.Space, 8)
+	p := m.Procs[0]
+	p.Read(a.Addr(0)) // miss: 10
+	p.Read(a.Addr(1)) // hit: 1
+	if p.Now != 11 {
+		t.Errorf("clock = %d, want 11", p.Now)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{P: 0, M: 64, B: 8},
+		{P: 1, M: 64, B: 6},
+		{P: 1, M: 4, B: 8},
+	}
+	for _, c := range bad {
+		if err := (&c).Validate(); err == nil {
+			t.Errorf("config %+v should fail validation", c)
+		}
+	}
+}
+
+func TestFloatThroughCache(t *testing.T) {
+	m := New(cfg(1))
+	a := mem.NewArray(m.Space, 8)
+	p := m.Procs[0]
+	p.WriteF(a.Addr(0), 3.75)
+	if got := p.ReadF(a.Addr(0)); got != 3.75 {
+		t.Errorf("ReadF = %g", got)
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	kinds := map[AccessKind]string{Hit: "hit", ColdMiss: "cold", BlockMiss: "block", UpgradeMiss: "upgrade"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

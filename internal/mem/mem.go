@@ -1,0 +1,144 @@
+// Package mem provides the simulated word-addressable shared memory used by
+// the HBP machine model.
+//
+// The paper's machine organizes data in blocks of B words; the initial input
+// of size n occupies n/B blocks of main memory.  Space requested by a core is
+// allocated in block-sized units, and allocations to different cores are
+// disjoint (Section 2.2, "system property").  This package implements exactly
+// that: a single flat address space of int64 words, carved into regions by a
+// block-aligned allocator, with one private arena per simulated processor so
+// that per-proc allocations never share a block.
+//
+// Addresses are plain int64 word indices.  Values are int64 words; float64
+// payloads are stored via math.Float64bits.  All reads and writes normally go
+// through machine.Proc so that cache and coherence behaviour is simulated;
+// the raw Load/Store entry points here exist for test setup, result
+// extraction, and the serial reference implementations.
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Addr is a word address in the simulated shared memory.
+type Addr = int64
+
+// segBits determines the segment size (1<<segBits words per segment).  The
+// address space grows by whole segments so that previously returned addresses
+// stay valid without copying.
+const segBits = 18
+
+const segSize = 1 << segBits
+
+// Space is a growable flat address space of 64-bit words.
+//
+// The zero value is not ready for use; call NewSpace.
+type Space struct {
+	segs   [][]int64
+	used   Addr // high-water mark of allocated words
+	blockB int  // words per block (B)
+}
+
+// NewSpace returns an empty address space with the given block size B
+// (in words).  B must be a positive power of two.
+func NewSpace(blockWords int) *Space {
+	if blockWords <= 0 || blockWords&(blockWords-1) != 0 {
+		panic(fmt.Sprintf("mem: block size must be a positive power of two, got %d", blockWords))
+	}
+	return &Space{blockB: blockWords}
+}
+
+// BlockWords returns B, the number of words per block.
+func (s *Space) BlockWords() int { return s.blockB }
+
+// Block returns the block index containing addr.
+func (s *Space) Block(addr Addr) int64 { return addr / int64(s.blockB) }
+
+// Size returns the number of words allocated so far.
+func (s *Space) Size() Addr { return s.used }
+
+// grow extends the segment table to cover addresses [0, limit).  Segment
+// backing arrays are materialized lazily on first store, so reserving large
+// regions (e.g. execution stacks) costs no real memory until touched.
+func (s *Space) grow(limit Addr) {
+	need := int((limit + segSize - 1) >> segBits)
+	for len(s.segs) < need {
+		s.segs = append(s.segs, nil)
+	}
+}
+
+// Alloc reserves n words starting at a block boundary and returns the base
+// address.  The tail of the last block is padded (never reused), so distinct
+// allocations never share a block, matching the paper's allocation property.
+func (s *Space) Alloc(n int64) Addr {
+	if n < 0 {
+		panic("mem: negative allocation")
+	}
+	b := int64(s.blockB)
+	base := (s.used + b - 1) / b * b
+	s.used = base + (n+b-1)/b*b
+	s.grow(s.used)
+	return base
+}
+
+// AllocUnaligned reserves n words at the current high-water mark without
+// rounding to a block boundary.  Used only by the execution-stack model,
+// where block sharing between adjacent frames is the phenomenon under study.
+func (s *Space) AllocUnaligned(n int64) Addr {
+	base := s.used
+	s.used = base + n
+	s.grow(s.used)
+	return base
+}
+
+// Load reads the word at addr without any cache simulation.  Untouched
+// memory reads as zero.
+func (s *Space) Load(addr Addr) int64 {
+	seg := s.segs[addr>>segBits]
+	if seg == nil {
+		return 0
+	}
+	return seg[addr&(segSize-1)]
+}
+
+// Store writes the word at addr without any cache simulation.
+func (s *Space) Store(addr Addr, v int64) {
+	i := addr >> segBits
+	if s.segs[i] == nil {
+		s.segs[i] = make([]int64, segSize)
+	}
+	s.segs[i][addr&(segSize-1)] = v
+}
+
+// LoadF and StoreF move float64 payloads through the word at addr.
+func (s *Space) LoadF(addr Addr) float64     { return math.Float64frombits(uint64(s.Load(addr))) }
+func (s *Space) StoreF(addr Addr, v float64) { s.Store(addr, int64(math.Float64bits(v))) }
+
+// Arena is a block-aligned sub-allocator drawing from a Space.  Each
+// simulated processor owns one Arena for its dynamic allocations so that no
+// two processors' allocations share a block.
+type Arena struct {
+	sp *Space
+}
+
+// NewArena returns an arena over sp.
+func NewArena(sp *Space) *Arena { return &Arena{sp: sp} }
+
+// Alloc reserves n block-aligned words.
+func (a *Arena) Alloc(n int64) Addr { return a.sp.Alloc(n) }
+
+// Space returns the underlying address space.
+func (a *Arena) Space() *Space { return a.sp }
+
+// Region describes a contiguous allocated range [Base, Base+Len).
+type Region struct {
+	Base Addr
+	Len  int64
+}
+
+// Contains reports whether addr lies inside the region.
+func (r Region) Contains(addr Addr) bool { return addr >= r.Base && addr < r.Base+r.Len }
+
+// End returns one past the last address of the region.
+func (r Region) End() Addr { return r.Base + r.Len }

@@ -1,0 +1,254 @@
+// Package rt is a real-parallelism companion to the simulator: a
+// goroutine-based fork-join work-stealing runtime with per-worker deques
+// (owner pushes and pops at the bottom, thieves steal from the top — the
+// orientation of Section 2) and a choice of victim policy: random (RWS) or
+// priority (steal the shallowest advertised task, the PWS-flavoured rule).
+//
+// The simulator in internal/core measures the paper's cache and block-miss
+// quantities; this package demonstrates the same computations running with
+// genuine parallelism and feeds the wall-clock speedup experiment (EXP12).
+package rt
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects the victim rule for steals.
+type Policy int
+
+const (
+	// Random picks victims uniformly at random (RWS).
+	Random Policy = iota
+	// Priority scans all deques and steals the task with the smallest
+	// depth (largest size), the PWS-flavoured rule.
+	Priority
+)
+
+// Pool is a fixed-size work-stealing pool.
+type Pool struct {
+	workers []*worker
+	policy  Policy
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	steals  atomic.Int64
+}
+
+type task struct {
+	fn    func(*Ctx)
+	depth int
+	done  atomic.Bool
+}
+
+type worker struct {
+	id   int
+	pool *Pool
+	mu   sync.Mutex
+	dq   []*task // bottom = end; thieves take from front
+	rng  *rand.Rand
+}
+
+// Ctx is passed to every task body; it identifies the executing worker.
+type Ctx struct {
+	w     *worker
+	depth int
+}
+
+// Handle joins a forked task.
+type Handle struct{ t *task }
+
+// NewPool creates a pool of p workers.  Pass 0 for GOMAXPROCS.
+func NewPool(p int, policy Policy) *Pool {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	pool := &Pool{policy: policy}
+	for i := 0; i < p; i++ {
+		pool.workers = append(pool.workers, &worker{
+			id:   i,
+			pool: pool,
+			rng:  rand.New(rand.NewSource(int64(i)*7919 + 17)),
+		})
+	}
+	return pool
+}
+
+// Steals reports the number of successful steals so far.
+func (p *Pool) Steals() int64 { return p.steals.Load() }
+
+// Run executes root to completion on the pool, then shuts the workers down.
+func (p *Pool) Run(root func(*Ctx)) {
+	t := &task{fn: root}
+	p.workers[0].push(t)
+	p.stop.Store(false)
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.loop()
+	}
+	// Worker 0's loop executes the root; when the root task completes the
+	// pool is told to stop.  The root fn must join all its forks before
+	// returning, so no work outlives it.
+	for !t.done.Load() {
+		runtime.Gosched()
+	}
+	p.stop.Store(true)
+	p.wg.Wait()
+}
+
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	for !w.pool.stop.Load() {
+		if t := w.pop(); t != nil {
+			w.runTask(t)
+			continue
+		}
+		if t := w.pool.steal(w); t != nil {
+			w.runTask(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+func (w *worker) runTask(t *task) {
+	t.fn(&Ctx{w: w, depth: t.depth})
+	t.done.Store(true)
+}
+
+func (w *worker) push(t *task) {
+	w.mu.Lock()
+	w.dq = append(w.dq, t)
+	w.mu.Unlock()
+}
+
+func (w *worker) pop() *task {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.dq) == 0 {
+		return nil
+	}
+	t := w.dq[len(w.dq)-1]
+	w.dq = w.dq[:len(w.dq)-1]
+	return t
+}
+
+// stealTop removes the head (oldest, shallowest) task.
+func (w *worker) stealTop() *task {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.dq) == 0 {
+		return nil
+	}
+	t := w.dq[0]
+	w.dq = w.dq[1:]
+	return t
+}
+
+// headDepth peeks at the head's depth, or -1 when empty.
+func (w *worker) headDepth() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.dq) == 0 {
+		return -1
+	}
+	return w.dq[0].depth
+}
+
+func (p *Pool) steal(thief *worker) *task {
+	switch p.policy {
+	case Priority:
+		best, bestDepth := -1, int(^uint(0)>>1)
+		for i, v := range p.workers {
+			if v == thief {
+				continue
+			}
+			if d := v.headDepth(); d >= 0 && d < bestDepth {
+				best, bestDepth = i, d
+			}
+		}
+		if best >= 0 {
+			if t := p.workers[best].stealTop(); t != nil {
+				p.steals.Add(1)
+				return t
+			}
+		}
+	default:
+		n := len(p.workers)
+		for tries := 0; tries < n; tries++ {
+			v := p.workers[thief.rng.Intn(n)]
+			if v == thief {
+				continue
+			}
+			if t := v.stealTop(); t != nil {
+				p.steals.Add(1)
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// Fork pushes fn as a stealable task and returns its join handle.
+func (c *Ctx) Fork(fn func(*Ctx)) Handle {
+	t := &task{fn: fn, depth: c.depth + 1}
+	c.w.push(t)
+	return Handle{t: t}
+}
+
+// Join waits for a forked task, helping with other work meanwhile: first the
+// worker's own deque (which most likely holds the forked task itself), then
+// steals.  Joining only your own forks keeps the discipline deadlock-free.
+func (c *Ctx) Join(h Handle) {
+	for !h.t.done.Load() {
+		if t := c.w.pop(); t != nil {
+			c.w.runTask(t)
+			continue
+		}
+		if t := c.w.pool.steal(c.w); t != nil {
+			c.w.runTask(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// Parallel runs a and b as parallel subtasks and returns when both finish.
+func (c *Ctx) Parallel(a, b func(*Ctx)) {
+	h := c.Fork(b)
+	a(&Ctx{w: c.w, depth: c.depth + 1})
+	c.Join(h)
+}
+
+// For runs body(i) for lo ≤ i < hi with binary splitting down to grain.
+func (c *Ctx) For(lo, hi, grain int, body func(i int)) {
+	if hi-lo <= grain {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	c.Parallel(
+		func(c *Ctx) { c.For(lo, mid, grain, body) },
+		func(c *Ctx) { c.For(mid, hi, grain, body) },
+	)
+}
+
+// Reduce computes the sum of f(i) over [lo, hi) with binary splitting.
+func (c *Ctx) Reduce(lo, hi, grain int, f func(i int) int64) int64 {
+	if hi-lo <= grain {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	mid := lo + (hi-lo)/2
+	var right int64
+	h := c.Fork(func(c *Ctx) { right = c.Reduce(mid, hi, grain, f) })
+	left := (&Ctx{w: c.w, depth: c.depth + 1}).Reduce(lo, mid, grain, f)
+	c.Join(h)
+	return left + right
+}

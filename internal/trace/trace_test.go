@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// sum builds an M-Sum-like BP tree over a.
+func sum(a mem.Array, out mem.Addr) *core.Node {
+	var build func(lo, hi int64, out mem.Addr) *core.Node
+	build = func(lo, hi int64, out mem.Addr) *core.Node {
+		if hi-lo == 1 {
+			return core.Leaf(1, func(c *core.Ctx) { c.W(out, c.R(a.Addr(lo))) })
+		}
+		mid := lo + (hi-lo)/2
+		return &core.Node{
+			Size: hi - lo, Locals: 2,
+			Fork: func(c *core.Ctx) (*core.Node, *core.Node) {
+				return build(lo, mid, c.Local(0)), build(mid, hi, c.Local(1))
+			},
+			Join: func(c *core.Ctx) { c.W(out, c.R(c.Local(0))+c.R(c.Local(1))) },
+		}
+	}
+	return build(0, a.Len(), out)
+}
+
+func tracedRun(p int, n int64) (*Tracer, core.Result) {
+	m := machine.New(machine.Config{P: p, M: 256, B: 8, MissLatency: 4})
+	a := mem.NewArray(m.Space, n)
+	a.Fill(1)
+	out := m.Space.Alloc(1)
+	eng := core.NewEngine(m, sched.NewPWS(), core.Options{})
+	tr := &Tracer{}
+	Attach(eng, tr)
+	res := eng.Run(sum(a, out))
+	return tr, res
+}
+
+func TestTracerRecordsAllTasks(t *testing.T) {
+	tr, _ := tracedRun(2, 64)
+	// A 64-leaf balanced tree has 127 nodes.
+	if got := len(tr.Tasks()); got != 127 {
+		t.Errorf("recorded %d tasks, want 127", got)
+	}
+	for _, tk := range tr.Tasks() {
+		if tk.End == 0 && tk.Parent >= 0 {
+			t.Errorf("task %d never ended", tk.ID)
+		}
+	}
+}
+
+func TestTracerBlocksAttributeToAncestors(t *testing.T) {
+	tr, _ := tracedRun(1, 32)
+	// The root's block set must cover the whole input: 32 words at B=8 is
+	// ≥ 4 blocks (plus stack/output blocks).
+	var root *Task
+	for _, tk := range tr.Tasks() {
+		if tk.Parent == -1 {
+			root = tk
+		}
+	}
+	if root == nil {
+		t.Fatal("no root task")
+	}
+	if len(root.Blocks) < 4 {
+		t.Errorf("root block set %d too small", len(root.Blocks))
+	}
+	if len(root.Words) < 32 {
+		t.Errorf("root word set %d < input size", len(root.Words))
+	}
+}
+
+func TestFMeasureScanIsFlat(t *testing.T) {
+	// M-Sum tasks access contiguous input plus O(1) locals: the f-excess
+	// must stay bounded by a small constant across task sizes.
+	tr, _ := tracedRun(4, 256)
+	for _, p := range tr.FMeasure(8) {
+		if p.Excess > 6 {
+			t.Errorf("size %d: f-excess %d too large for a scan", p.Size, p.Excess)
+		}
+	}
+}
+
+func TestLMeasureScanIsConstant(t *testing.T) {
+	// Stolen M-Sum tasks share only the O(1) boundary/stack blocks.
+	tr, _ := tracedRun(8, 512)
+	for _, p := range tr.LMeasure() {
+		if p.Shared > 8 {
+			t.Errorf("size %d: %d shared blocks, want O(1) for scans", p.Size, p.Shared)
+		}
+	}
+}
+
+func TestBalanceRatioBalancedTree(t *testing.T) {
+	tr, _ := tracedRun(4, 256)
+	if r := tr.BalanceRatio(2); r > 1.01 {
+		t.Errorf("balance ratio %f for a perfectly balanced tree", r)
+	}
+}
