@@ -27,13 +27,8 @@ var printOnce sync.Map
 // runExperiment prints the experiment table once and times quick re-runs.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
-	var exp bench.Experiment
-	for _, e := range bench.Experiments() {
-		if e.ID == id {
-			exp = e
-		}
-	}
-	if exp.Run == nil {
+	exp, ok := bench.FindExperiment(id)
+	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
 	// Print the table once per benchmark, with the quick sweeps so a full

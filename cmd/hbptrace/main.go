@@ -30,6 +30,7 @@ func main() {
 		lat      = flag.Int64("b", 8, "cache-miss latency")
 		schedStr = flag.String("sched", "pws", "scheduler: pws or rws")
 		padded   = flag.Bool("padded", false, "use padded execution stacks (§4.7)")
+		seed     = flag.Uint64("seed", 0, "input seed (0 = the historical fixed inputs)")
 		doTrace  = flag.Bool("trace", false, "measure f(r)/L(r) (slow; use small n)")
 	)
 	flag.Parse()
@@ -50,9 +51,9 @@ func main() {
 		size = algo.Sizes[0]
 	}
 
-	spec := bench.Spec{P: *p, M: *mWords, B: *bWords, MissLatency: *lat, Sched: *schedStr, Padded: *padded}
+	spec := bench.Spec{P: *p, M: *mWords, B: *bWords, MissLatency: *lat, Sched: *schedStr, Padded: *padded, Seed: *seed}
 	m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
-	root := algo.Build(m, size)
+	root := algo.Build(m, size, spec.Seed)
 	eng := core.NewEngine(m, specScheduler(spec), core.Options{Padded: spec.Padded})
 
 	var tr *trace.Tracer

@@ -1,13 +1,18 @@
-// Package bench is the experiment harness: one driver per paper artifact
-// (Table 1 and the bound lemmas), each printing a table whose rows mirror
-// what the paper states so that EXPERIMENTS.md can record paper-vs-measured.
-// The drivers are invoked from the root bench_test.go benchmarks and from
-// cmd/hbpbench.
+// Package bench is the experiment suite: one data-driven experiment per
+// paper artifact (Table 1 and the bound lemmas).  Each experiment expands
+// into independent grid cells (internal/harness.Cell) that run concurrently
+// on the repo's own work-stealing pool and yield typed harness.Row records;
+// the paper-style text tables are rendered from those rows, and the same
+// rows feed the CSV/JSON emitters and the cross-repeat aggregation.  See
+// EXPERIMENTS.md for the row schema and the experiment-to-paper mapping.
+// The experiments are invoked from the root bench_test.go benchmarks and
+// from cmd/hbpbench.
 package bench
 
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/algos/fft"
 	"repro/internal/algos/graph"
@@ -18,38 +23,45 @@ import (
 	"repro/internal/algos/sortx"
 	"repro/internal/algos/strassen"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/sched"
 )
 
-// Spec describes one run.
-type Spec struct {
-	P           int
-	M           int
-	B           int
-	MissLatency int64
-	Sched       string // "pws" (default) or "rws"
-	Padded      bool
-}
+// Spec describes one run; it is the harness grid spec, re-exported so the
+// catalog and the commands speak one type.
+type Spec = harness.Spec
 
-// DefaultSpec is the tall-cache machine used unless a sweep overrides it:
-// M = 1024 words, B = 16 words (M = B²·4), b = 8.
+// DefaultSpec is the tall-cache machine used unless a sweep overrides it
+// (harness.DefaultGrid: M = 1024 words, B = 16 words so M = B²·4, b = 8).
 func DefaultSpec(p int) Spec {
-	return Spec{P: p, M: 1024, B: 16, MissLatency: 8, Sched: "pws"}
+	s := harness.DefaultGrid().Specs()[0]
+	s.P = p
+	return s
 }
 
-func (s Spec) scheduler() core.Scheduler {
+func scheduler(s Spec) core.Scheduler {
 	if s.Sched == "rws" {
 		return sched.NewRWS(12345)
 	}
 	return sched.NewPWS()
 }
 
+// schedName normalizes the spec's scheduler tag for row identity.
+func schedName(s Spec) string {
+	if s.Sched == "rws" {
+		return "rws"
+	}
+	return "pws"
+}
+
 // Algo is a catalog entry: a named HBP algorithm with its paper parameters
 // (Table 1 columns) and a builder that allocates inputs on a fresh machine
 // and returns the computation root.  n is the algorithm's natural size
-// parameter (side length for matrix algorithms).
+// parameter (side length for matrix algorithms); seed perturbs the generated
+// inputs so grid repeats are distinct yet reproducible (seed 0 reproduces
+// the historical fixed inputs).
 type Algo struct {
 	Name  string
 	Typ   string // HBP type
@@ -61,15 +73,50 @@ type Algo struct {
 	Sizes []int64
 	// InputWords converts n to the input size in words (n² for matrices).
 	InputWords func(n int64) int64
-	Build      func(m *machine.Machine, n int64) *core.Node
+	Build      func(m *machine.Machine, n int64, seed uint64) *core.Node
 }
 
-// Run executes the algorithm at size n under the spec on a fresh machine.
+// Run executes the algorithm at size n under the spec on a fresh machine,
+// seeding the inputs from spec.Seed.
 func Run(a Algo, n int64, spec Spec) core.Result {
 	m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
-	root := a.Build(m, n)
-	eng := core.NewEngine(m, spec.scheduler(), core.Options{Padded: spec.Padded})
+	root := a.Build(m, n, spec.Seed)
+	eng := core.NewEngine(m, scheduler(spec), core.Options{Padded: spec.Padded})
 	return eng.Run(root)
+}
+
+// rowFrom flattens a simulator result into the harness row schema.
+func rowFrom(exp string, algo string, n int64, spec Spec, res core.Result, wall time.Duration) harness.Row {
+	return harness.Row{
+		Exp: exp, Algo: algo, N: n,
+		P: spec.P, M: spec.M, B: spec.B,
+		Sched: schedName(spec), Padded: spec.Padded,
+		Repeat: spec.Repeat, Seed: spec.Seed,
+
+		Makespan:         res.Makespan,
+		Work:             res.Work,
+		CritPath:         res.CritPath,
+		CacheMisses:      res.Total.ColdMisses,
+		BlockMisses:      res.Total.BlockMisses,
+		UpgradeMisses:    res.Total.UpgradeMisses,
+		BlockWait:        res.Total.BlockWait,
+		Steals:           res.Steals,
+		StealAttempts:    res.StealAttempts,
+		MaxStealsPerPrio: res.MaxStealsPerPrio(),
+		DistinctPrios:    int64(res.DistinctPrios),
+		Usurpations:      res.Usurpations,
+		StackHighWater:   res.StackHighWater,
+		IdleTime:         res.Total.IdleTime,
+
+		WallNS: wall.Nanoseconds(),
+	}
+}
+
+// measure runs one (algo, n, spec) cell and returns its row.
+func measure(exp string, a Algo, n int64, spec Spec) harness.Row {
+	start := time.Now()
+	res := Run(a, n, spec)
+	return rowFrom(exp, a.Name, n, spec, res, time.Since(start))
 }
 
 // lcg is a tiny deterministic generator for reproducible inputs.
@@ -116,9 +163,9 @@ func Catalog() []Algo {
 			W: "O(n)", TInf: "O(log n)", Q: "O(n/B)",
 			Sizes:      []int64{4096, 16384, 65536},
 			InputWords: func(n int64) int64 { return n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				a := mem.NewArray(m.Space, n)
-				fillRand(a, 1, 100)
+				fillRand(a, seed+1, 100)
 				out := m.Space.Alloc(1)
 				tree := mem.NewArray(m.Space, core.UpTreeLen(n))
 				return scan.MSum(a, out, tree)
@@ -129,9 +176,9 @@ func Catalog() []Algo {
 			W: "O(n)", TInf: "O(log n)", Q: "O(n/B)",
 			Sizes:      []int64{4096, 16384, 65536},
 			InputWords: func(n int64) int64 { return n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				a := mem.NewArray(m.Space, n)
-				fillRand(a, 2, 100)
+				fillRand(a, seed+2, 100)
 				out := mem.NewArray(m.Space, n)
 				tree := mem.NewArray(m.Space, core.UpTreeLen(n))
 				scr := m.Space.Alloc(1)
@@ -143,10 +190,10 @@ func Catalog() []Algo {
 			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
 			Sizes:      []int64{64, 128, 256},
 			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				src := mat.AllocBI(m.Space, n, 1)
 				dst := mat.AllocBI(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 3, 1000)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+3, 1000)
 				return mat.MT(src, dst)
 			},
 		},
@@ -155,10 +202,10 @@ func Catalog() []Algo {
 			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
 			Sizes:      []int64{64, 128, 256},
 			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				src := mat.AllocRM(m.Space, n, n, 1)
 				dst := mat.AllocBI(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 4, 1000)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+4, 1000)
 				return mat.RMtoBI(src, dst)
 			},
 		},
@@ -167,10 +214,10 @@ func Catalog() []Algo {
 			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
 			Sizes:      []int64{64, 128, 256},
 			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				src := mat.AllocBI(m.Space, n, 1)
 				dst := mat.AllocRM(m.Space, n, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 5, 1000)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+5, 1000)
 				return mat.DirectBItoRM(src, dst)
 			},
 		},
@@ -179,10 +226,10 @@ func Catalog() []Algo {
 			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
 			Sizes:      []int64{64, 128, 256},
 			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				src := mat.AllocBI(m.Space, n, 1)
 				dst := mat.AllocRM(m.Space, n, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 6, 1000)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+6, 1000)
 				return mat.GapBItoRM(src, dst, mat.NewGapLayout(n))
 			},
 		},
@@ -191,10 +238,10 @@ func Catalog() []Algo {
 			W: "O(n² lglg n)", TInf: "O(log n)", Q: "O(n²/B · log_M n)",
 			Sizes:      []int64{64, 128, 256},
 			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				src := mat.AllocBI(m.Space, n, 1)
 				dst := mat.AllocRM(m.Space, n, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, 7, 1000)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+7, 1000)
 				return mat.BIRMforFFT(src, dst)
 			},
 		},
@@ -203,12 +250,12 @@ func Catalog() []Algo {
 			W: "O(n^2.81)", TInf: "O(log² n)", Q: "O(n^λ/(B·M^(λ/2−1)))",
 			Sizes:      []int64{16, 32, 64},
 			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				a := mat.AllocBI(m.Space, n, 1)
 				b := mat.AllocBI(m.Space, n, 1)
 				out := mat.AllocBI(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: a.Base, N: n * n}, 8, 10)
-				fillRand(mem.Array{Space: m.Space, Base: b.Base, N: n * n}, 9, 10)
+				fillRand(mem.Array{Space: m.Space, Base: a.Base, N: n * n}, seed+8, 10)
+				fillRand(mem.Array{Space: m.Space, Base: b.Base, N: n * n}, seed+9, 10)
 				return strassen.Mul(a, b, out)
 			},
 		},
@@ -217,12 +264,12 @@ func Catalog() []Algo {
 			W: "O(n³)", TInf: "O(n)", Q: "O(n³/(B√M))",
 			Sizes:      []int64{16, 32, 64},
 			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				a := mat.AllocBI(m.Space, n, 1)
 				b := mat.AllocBI(m.Space, n, 1)
 				out := mat.AllocBI(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: a.Base, N: n * n}, 10, 10)
-				fillRand(mem.Array{Space: m.Space, Base: b.Base, N: n * n}, 11, 10)
+				fillRand(mem.Array{Space: m.Space, Base: a.Base, N: n * n}, seed+10, 10)
+				fillRand(mem.Array{Space: m.Space, Base: b.Base, N: n * n}, seed+11, 10)
 				return matmul.Mul(a, b, out)
 			},
 		},
@@ -231,10 +278,10 @@ func Catalog() []Algo {
 			W: "O(n log n)", TInf: "O(log n·lglg n)", Q: "O(n/B·log_M n)",
 			Sizes:      []int64{1024, 4096, 16384},
 			InputWords: func(n int64) int64 { return 2 * n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				src := mem.NewCArray(m.Space, n)
 				dst := mem.NewCArray(m.Space, n)
-				g := lcg(12)
+				g := lcg(seed + 12)
 				for i := int64(0); i < n; i++ {
 					src.Set(i, complex(float64(g.next()%1000)/1000, float64(g.next()%1000)/1000))
 				}
@@ -246,10 +293,10 @@ func Catalog() []Algo {
 			W: "O(n log n)", TInf: "O(log n·lglg n)*", Q: "O(n/B·log_M n)*",
 			Sizes:      []int64{1024, 4096, 16384},
 			InputWords: func(n int64) int64 { return n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				src := sortx.NewRecs(m.Space, n, 1)
 				dst := sortx.NewRecs(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n}, 13, 1<<30)
+				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n}, seed+13, 1<<30)
 				return sortx.Sort(src, dst)
 			},
 		},
@@ -258,8 +305,8 @@ func Catalog() []Algo {
 			W: "O(n log n)", TInf: "O(log² n·lglg n)", Q: "O(n/B·log_M n)",
 			Sizes:      []int64{256, 512, 1024},
 			InputWords: func(n int64) int64 { return n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
-				succ := randPermList(m.Space, n, 14)
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
+				succ := randPermList(m.Space, n, seed+14)
 				rank := mem.NewArray(m.Space, n)
 				return listrank.Rank(succ, rank, listrank.Options{})
 			},
@@ -269,12 +316,12 @@ func Catalog() []Algo {
 			W: "O(n log² n)", TInf: "O(log³ n·lglg n)", Q: "O(n/B·log_M n·log n)",
 			Sizes:      []int64{64, 128, 256},
 			InputWords: func(n int64) int64 { return 3 * n },
-			Build: func(m *machine.Machine, n int64) *core.Node {
+			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
 				mEdges := 2 * n
 				eu := mem.NewArray(m.Space, mEdges)
 				ev := mem.NewArray(m.Space, mEdges)
-				fillRand(eu, 15, n)
-				fillRand(ev, 16, n)
+				fillRand(eu, seed+15, n)
+				fillRand(ev, seed+16, n)
 				comp := mem.NewArray(m.Space, n)
 				return graph.CC(n, eu, ev, comp)
 			},
@@ -292,29 +339,104 @@ func FindAlgo(name string) (Algo, bool) {
 	return Algo{}, false
 }
 
-// Experiment is a registered driver.
+// Params configures one harness invocation: how big the sweeps are and how
+// many seeded repeats each grid cell runs.
+type Params struct {
+	Quick   bool
+	Repeats int
+	Seed    uint64
+}
+
+func (p Params) reps() int {
+	if p.Repeats <= 0 {
+		return 1
+	}
+	return p.Repeats
+}
+
+// eachRepeat invokes fn once per repeat with the repeat index and its seed.
+func (p Params) eachRepeat(fn func(rep int, seed uint64)) {
+	for r := 0; r < p.reps(); r++ {
+		fn(r, p.Seed+uint64(r))
+	}
+}
+
+// stamp tags a spec with the repeat identity.
+func stamp(spec Spec, rep int, seed uint64) Spec {
+	spec.Repeat, spec.Seed = rep, seed
+	return spec
+}
+
+// Experiment is a registered driver: a cell builder (the grid), an optional
+// finish pass that fills cross-cell derived columns (excess over the serial
+// base, speedups), and a renderer for the paper-style text table.
 type Experiment struct {
-	ID   string
-	Desc string
-	Run  func(w io.Writer, quick bool)
+	ID     string
+	Desc   string
+	Cells  func(p Params) []harness.Cell
+	Finish func(rows []harness.Row) []harness.Row
+	Render func(w io.Writer, rows []harness.Row)
+}
+
+// Rows expands the experiment's grid, executes it with the given
+// parallelism, and applies the finish pass.
+func (e Experiment) Rows(p Params, parallel int) []harness.Row {
+	rows := harness.Execute(e.Cells(p), parallel)
+	if e.Finish != nil {
+		rows = e.Finish(rows)
+	}
+	return rows
+}
+
+// Run is the legacy serial text entry point: one repeat, rendered tables.
+func (e Experiment) Run(w io.Writer, quick bool) {
+	e.Render(w, e.Rows(Params{Quick: quick}, 1))
 }
 
 // Experiments returns all drivers in id order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"EXP01", "Table 1: structural parameters of every HBP algorithm", Exp01Table1},
-		{"EXP02", "Lemma 4.4: BP cache-miss excess is O(pM/B)", Exp02BPCacheExcess},
-		{"EXP03", "Lemma 4.1: Type-2 HBP cache-miss excess", Exp03HBPCacheExcess},
-		{"EXP04", "Lemmas 4.8/4.9/4.2: block-miss (false-sharing) excess", Exp04BlockExcess},
-		{"EXP05", "Obs 4.3 + Cor 4.1: steal counts per priority and attempts", Exp05StealBounds},
-		{"EXP06", "PWS vs RWS: the headline scheduler comparison", Exp06PWSvsRWS},
-		{"EXP07", "Gapping ablation: Direct BI-RM vs BI-RM (gap RM)", Exp07Gapping},
-		{"EXP08", "Padding ablation (§4.7): padded vs standard stacks", Exp08Padding},
-		{"EXP09", "Lemma 4.12: runtime decomposition (W+bQ)/p + sP·T∞", Exp09Runtime},
-		{"EXP10", "Thm 4.1: list ranking bounds and gapping cutoff", Exp10ListRank},
-		{"EXP11", "CC: log n × LR cost shape", Exp11CC},
-		{"EXP12", "Goroutine runtime speedup (real parallelism)", Exp12Goroutine},
+		{"EXP01", "Table 1: structural parameters of every HBP algorithm", exp01Cells, nil, exp01Render},
+		{"EXP02", "Lemma 4.4: BP cache-miss excess is O(pM/B)", exp02Cells, exp02Finish, exp02Render},
+		{"EXP03", "Lemma 4.1: Type-2 HBP cache-miss excess", exp03Cells, exp03Finish, exp03Render},
+		{"EXP04", "Lemmas 4.8/4.9/4.2: block-miss (false-sharing) excess", exp04Cells, nil, exp04Render},
+		{"EXP05", "Obs 4.3 + Cor 4.1: steal counts per priority and attempts", exp05Cells, nil, exp05Render},
+		{"EXP06", "PWS vs RWS: the headline scheduler comparison", exp06Cells, exp06Finish, exp06Render},
+		{"EXP07", "Gapping ablation: Direct BI-RM vs BI-RM (gap RM)", exp07Cells, nil, exp07Render},
+		{"EXP08", "Padding ablation (§4.7): padded vs standard stacks", exp08Cells, nil, exp08Render},
+		{"EXP09", "Lemma 4.12: runtime decomposition (W+bQ)/p + sP·T∞", exp09Cells, exp09Finish, exp09Render},
+		{"EXP10", "Thm 4.1: list ranking bounds and gapping cutoff", exp10Cells, nil, exp10Render},
+		{"EXP11", "CC: log n × LR cost shape", exp11Cells, nil, exp11Render},
+		{"EXP12", "Goroutine runtime speedup (real parallelism)", exp12Cells, exp12Finish, exp12Render},
 	}
+}
+
+// FindExperiment returns the driver with the given id (case-sensitive).
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// findRow returns the first row matching the predicate.
+func findRow(rows []harness.Row, match func(harness.Row) bool) (harness.Row, bool) {
+	for _, r := range rows {
+		if match(r) {
+			return r, true
+		}
+	}
+	return harness.Row{}, false
+}
+
+// baseFor finds the serial (P==1) row sharing algo/repeat/note identity with
+// r — the baseline the excess columns are computed against.
+func baseFor(rows []harness.Row, r harness.Row) (harness.Row, bool) {
+	return findRow(rows, func(b harness.Row) bool {
+		return b.P == 1 && b.Algo == r.Algo && b.N == r.N && b.Repeat == r.Repeat && b.Note == r.Note
+	})
 }
 
 func header(w io.Writer, title string) {

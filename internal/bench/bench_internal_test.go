@@ -44,12 +44,52 @@ func TestExperimentsRegistered(t *testing.T) {
 		t.Fatalf("%d experiments registered, want 12", len(exps))
 	}
 	for i, e := range exps {
-		if e.Run == nil {
-			t.Errorf("%s has no driver", e.ID)
+		if e.Cells == nil || e.Render == nil {
+			t.Errorf("%s has no cell builder or renderer", e.ID)
 		}
 		if !strings.HasPrefix(e.ID, "EXP") {
 			t.Errorf("bad id %q at %d", e.ID, i)
 		}
+	}
+	if _, ok := FindExperiment("EXP06"); !ok {
+		t.Error("EXP06 not found")
+	}
+	if _, ok := FindExperiment("EXP99"); ok {
+		t.Error("bogus experiment found")
+	}
+}
+
+func TestRepeatsProduceDistinctSeededRows(t *testing.T) {
+	e, _ := FindExperiment("EXP05")
+	rows := e.Rows(Params{Quick: true, Repeats: 2, Seed: 7}, 1)
+	var r0, r1 int
+	for _, r := range rows {
+		switch r.Repeat {
+		case 0:
+			r0++
+			if r.Seed != 7 {
+				t.Errorf("repeat 0 row has seed %d, want 7", r.Seed)
+			}
+		case 1:
+			r1++
+			if r.Seed != 8 {
+				t.Errorf("repeat 1 row has seed %d, want 8", r.Seed)
+			}
+		}
+	}
+	if r0 == 0 || r0 != r1 {
+		t.Errorf("repeat row counts %d/%d, want equal and non-zero", r0, r1)
+	}
+}
+
+func TestSeedChangesInputs(t *testing.T) {
+	a, _ := FindAlgo("Sort (SPMS-sub)")
+	s1 := DefaultSpec(4)
+	s2 := DefaultSpec(4)
+	s2.Seed = 99
+	r1, r2 := Run(a, 1024, s1), Run(a, 1024, s2)
+	if r1.Makespan == r2.Makespan && r1.Total.ColdMisses == r2.Total.ColdMisses {
+		t.Error("different seeds produced identical runs; seed is not threaded into inputs")
 	}
 }
 

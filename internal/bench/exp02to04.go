@@ -1,68 +1,124 @@
 package bench
 
 import (
-	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/harness"
 )
 
-// Exp02BPCacheExcess checks Lemma 4.4: for BP computations with f(r)=O(√r)
-// and a tall cache, the PWS cache-miss excess over the serial execution is
-// O(p·M/B).  We sweep p at fixed n ≥ Mp and report excess/(pM/B), which the
-// lemma predicts stays bounded by a constant.
-func Exp02BPCacheExcess(w io.Writer, quick bool) {
-	header(w, "EXP02 — Lemma 4.4: BP cache-miss excess ≤ c·p·M/B")
-	algos := []string{"Scan(M-Sum)", "Scan(PS)", "MT (BI)"}
-	procs := []int{2, 4, 8, 16}
-	if quick {
-		procs = []int{2, 8}
+// EXP02 checks Lemma 4.4: for BP computations with f(r)=O(√r) and a tall
+// cache, the PWS cache-miss excess over the serial execution is O(p·M/B).
+// We sweep p at fixed n ≥ Mp; the finish pass sets Aux1 = serial Q,
+// Bound = p·M/B and Ratio = excess/bound, which the lemma predicts stays
+// bounded by a constant.
+func exp02Cells(p Params) []harness.Cell {
+	procs := []int{1, 2, 4, 8, 16}
+	if p.Quick {
+		procs = []int{1, 2, 8}
 	}
-	fmt.Fprintf(w, "%-14s %-8s %-4s %-10s %-10s %-10s %-12s\n",
-		"Algorithm", "n", "p", "Q(serial)", "Q(PWS)", "excess", "excess/(pM/B)")
-	for _, name := range algos {
+	grid := harness.Grid{Ps: procs, Repeats: p.reps(), Seed: p.Seed}
+	var cells []harness.Cell
+	for _, name := range []string{"Scan(M-Sum)", "Scan(PS)", "MT (BI)"} {
 		a, _ := FindAlgo(name)
 		n := a.Sizes[len(a.Sizes)-1]
-		base := Run(a, n, DefaultSpec(1))
-		for _, p := range procs {
-			spec := DefaultSpec(p)
-			res := Run(a, n, spec)
-			excess := res.Total.ColdMisses - base.Total.ColdMisses
-			bound := float64(p) * float64(spec.M) / float64(spec.B)
-			fmt.Fprintf(w, "%-14s %-8d %-4d %-10d %-10d %-10d %-12.3f\n",
-				a.Name, n, p, base.Total.ColdMisses, res.Total.ColdMisses,
-				excess, float64(excess)/bound)
+		for _, spec := range grid.Specs() {
+			a, n, spec := a, n, spec
+			cells = append(cells, harness.Cell{
+				Exp: "EXP02", Label: a.Name,
+				Run: func() []harness.Row {
+					return []harness.Row{measure("EXP02", a, n, spec)}
+				},
+			})
 		}
 	}
+	return cells
 }
 
-// Exp03HBPCacheExcess checks Lemma 4.1 for the Type-2 HBP computations:
+func exp02Finish(rows []harness.Row) []harness.Row {
+	for i, r := range rows {
+		base, ok := baseFor(rows, r)
+		if !ok || r.P == 1 {
+			continue
+		}
+		excess := float64(r.CacheMisses - base.CacheMisses)
+		rows[i].Aux1 = float64(base.CacheMisses)
+		rows[i].Bound = float64(r.P) * float64(r.M) / float64(r.B)
+		rows[i].Ratio = excess / rows[i].Bound
+	}
+	return rows
+}
+
+func exp02Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP02 — Lemma 4.4: BP cache-miss excess ≤ c·p·M/B")
+	t := harness.NewTable(w, "Algorithm", "n", "p", "Q(serial)", "Q(PWS)", "excess", "excess/(pM/B)")
+	for _, r := range rows {
+		if r.P == 1 {
+			continue
+		}
+		t.Line(r.Algo, harness.F(r.N), harness.F(r.P), harness.F(int64(r.Aux1)),
+			harness.F(r.CacheMisses), harness.F(r.CacheMisses-int64(r.Aux1)), harness.F(r.Ratio))
+	}
+	t.Flush()
+}
+
+// EXP03 checks Lemma 4.1 for the Type-2 HBP computations:
 // (i) Strassen (c=1, s(m)=m/4): excess O(p·(M/B)·s*(n²,M));
 // (ii) FFT (c=2, s(n)=√n): excess O(p·(M/B)·log n/log M);
 // (iii) Depth-n-MM (c=2, s(m)=m/4): excess O(p·√n²·M/B · shape).
-func Exp03HBPCacheExcess(w io.Writer, quick bool) {
+// Finish sets Aux1 = excess, Bound = the lemma formula, Ratio = Aux1/Bound.
+func exp03Cells(p Params) []harness.Cell {
+	procs := []int{1, 2, 4, 8}
+	if p.Quick {
+		procs = []int{1, 2, 8}
+	}
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, name := range []string{"Strassen (BI)", "FFT", "Depth-n-MM"} {
+			a, _ := FindAlgo(name)
+			n := a.Sizes[len(a.Sizes)-1]
+			if p.Quick {
+				n = a.Sizes[1]
+			}
+			for _, pr := range procs {
+				a, n, spec := a, n, stamp(DefaultSpec(pr), rep, seed)
+				cells = append(cells, harness.Cell{
+					Exp: "EXP03", Label: a.Name,
+					Run: func() []harness.Row {
+						return []harness.Row{measure("EXP03", a, n, spec)}
+					},
+				})
+			}
+		}
+	})
+	return cells
+}
+
+func exp03Finish(rows []harness.Row) []harness.Row {
+	for i, r := range rows {
+		base, ok := baseFor(rows, r)
+		if !ok || r.P == 1 {
+			continue
+		}
+		spec := Spec{P: r.P, M: r.M, B: r.B}
+		rows[i].Aux1 = float64(r.CacheMisses - base.CacheMisses)
+		rows[i].Bound = lemma41Formula(r.Algo, r.N, r.P, spec)
+		rows[i].Ratio = rows[i].Aux1 / rows[i].Bound
+	}
+	return rows
+}
+
+func exp03Render(w io.Writer, rows []harness.Row) {
 	header(w, "EXP03 — Lemma 4.1: Type-2 HBP cache-miss excess")
-	procs := []int{2, 4, 8}
-	if quick {
-		procs = []int{2, 8}
-	}
-	fmt.Fprintf(w, "%-14s %-8s %-4s %-10s %-12s %-12s\n",
-		"Algorithm", "n", "p", "excess", "formula", "excess/formula")
-	for _, name := range []string{"Strassen (BI)", "FFT", "Depth-n-MM"} {
-		a, _ := FindAlgo(name)
-		n := a.Sizes[len(a.Sizes)-1]
-		if quick {
-			n = a.Sizes[1]
+	t := harness.NewTable(w, "Algorithm", "n", "p", "excess", "formula", "excess/formula")
+	for _, r := range rows {
+		if r.P == 1 {
+			continue
 		}
-		base := Run(a, n, DefaultSpec(1))
-		for _, p := range procs {
-			spec := DefaultSpec(p)
-			res := Run(a, n, spec)
-			excess := float64(res.Total.ColdMisses - base.Total.ColdMisses)
-			f := lemma41Formula(name, n, p, spec)
-			fmt.Fprintf(w, "%-14s %-8d %-4d %-10.0f %-12.0f %-12.3f\n",
-				a.Name, n, p, excess, f, excess/f)
-		}
+		t.Line(r.Algo, harness.F(r.N), harness.F(r.P),
+			harness.F(int64(r.Aux1)), harness.F(int64(r.Bound)), harness.F(r.Ratio))
 	}
+	t.Flush()
 }
 
 func lemma41Formula(name string, n int64, p int, spec Spec) float64 {
@@ -86,56 +142,71 @@ func lemma41Formula(name string, n int64, p int, spec Spec) float64 {
 	}
 }
 
-// Exp04BlockExcess checks the block-miss (false-sharing) bounds: Lemma 4.8
-// gives O(p·B·log B) for a BP down-pass with L(r)=O(1); Lemma 4.2 gives
-// O(pB·log n·lglg B) for FFT and O(pB√n) for Depth-n-MM.  We sweep p and B
-// and report the measured block misses next to the formula value.
-func Exp04BlockExcess(w io.Writer, quick bool) {
-	header(w, "EXP04 — Lemmas 4.8/4.9/4.2: block-miss (false-sharing) excess")
-	fmt.Fprintf(w, "%-14s %-8s %-4s %-4s %-12s %-12s %-12s\n",
-		"Algorithm", "n", "p", "B", "blockMisses", "formula", "meas/formula")
-	type row struct {
-		name string
-		form func(n int64, p, B int) float64
-	}
-	rows := []row{
-		{"Scan(M-Sum)", func(n int64, p, B int) float64 {
+// EXP04 checks the block-miss (false-sharing) bounds: Lemma 4.8 gives
+// O(p·B·log B) for a BP down-pass with L(r)=O(1); Lemma 4.2 gives
+// O(pB·log n·lglg B) for FFT and O(pB√n) for Depth-n-MM.  We sweep p and B;
+// each row carries Bound = the formula value and Ratio = blockMisses/Bound.
+func exp04Cells(p Params) []harness.Cell {
+	forms := map[string]func(n int64, p, B int) float64{
+		"Scan(M-Sum)": func(n int64, p, B int) float64 {
 			return float64(p) * float64(B) * math.Log2(float64(B))
-		}},
-		{"MT (BI)", func(n int64, p, B int) float64 {
+		},
+		"MT (BI)": func(n int64, p, B int) float64 {
 			return float64(p) * float64(B) * math.Log2(float64(B))
-		}},
-		{"FFT", func(n int64, p, B int) float64 {
+		},
+		"FFT": func(n int64, p, B int) float64 {
 			return float64(p) * float64(B) * math.Log2(float64(n)) * math.Log2(math.Log2(float64(B))+2)
-		}},
-		{"Depth-n-MM", func(n int64, p, B int) float64 {
+		},
+		"Depth-n-MM": func(n int64, p, B int) float64 {
 			return float64(p) * float64(B) * float64(n) // √(n²) = n
-		}},
+		},
 	}
 	procs := []int{2, 4, 8, 16}
 	blocks := []int{8, 16, 32}
-	if quick {
+	if p.Quick {
 		procs = []int{2, 8}
 		blocks = []int{16}
 	}
-	for _, r := range rows {
-		a, _ := FindAlgo(r.name)
-		n := a.Sizes[1]
-		for _, p := range procs {
-			spec := DefaultSpec(p)
-			res := Run(a, n, spec)
-			f := r.form(n, p, spec.B)
-			fmt.Fprintf(w, "%-14s %-8d %-4d %-4d %-12d %-12.0f %-12.3f\n",
-				a.Name, n, p, spec.B, res.BlockMisses(), f, float64(res.BlockMisses())/f)
-		}
-		for _, B := range blocks {
-			spec := DefaultSpec(8)
-			spec.B = B
-			spec.M = 64 * B // keep M/B fixed while B sweeps
-			res := Run(a, n, spec)
-			f := r.form(n, 8, B)
-			fmt.Fprintf(w, "%-14s %-8d %-4d %-4d %-12d %-12.0f %-12.3f\n",
-				a.Name, n, 8, B, res.BlockMisses(), f, float64(res.BlockMisses())/f)
-		}
+	var cells []harness.Cell
+	// note distinguishes the two sweep sections; without it the p-sweep's
+	// (p=8, B=16) cell and the B-sweep's B=16 cell would share a row key.
+	add := func(a Algo, n int64, spec Spec, note string, form func(int64, int, int) float64) {
+		cells = append(cells, harness.Cell{
+			Exp: "EXP04", Label: a.Name,
+			Run: func() []harness.Row {
+				r := measure("EXP04", a, n, spec)
+				r.Note = note
+				r.Bound = form(n, spec.P, spec.B)
+				r.Ratio = float64(r.BlockMisses+r.UpgradeMisses) / r.Bound
+				return []harness.Row{r}
+			},
+		})
 	}
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, name := range []string{"Scan(M-Sum)", "MT (BI)", "FFT", "Depth-n-MM"} {
+			a, _ := FindAlgo(name)
+			form := forms[name]
+			n := a.Sizes[1]
+			for _, pr := range procs {
+				add(a, n, stamp(DefaultSpec(pr), rep, seed), "psweep", form)
+			}
+			for _, B := range blocks {
+				spec := stamp(DefaultSpec(8), rep, seed)
+				spec.B = B
+				spec.M = 64 * B // keep M/B fixed while B sweeps
+				add(a, n, spec, "bsweep", form)
+			}
+		}
+	})
+	return cells
+}
+
+func exp04Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP04 — Lemmas 4.8/4.9/4.2: block-miss (false-sharing) excess")
+	t := harness.NewTable(w, "Algorithm", "n", "p", "B", "blockMisses", "formula", "meas/formula")
+	for _, r := range rows {
+		t.Line(r.Algo, harness.F(r.N), harness.F(r.P), harness.F(r.B),
+			harness.F(r.BlockMisses+r.UpgradeMisses), harness.F(int64(r.Bound)), harness.F(r.Ratio))
+	}
+	t.Flush()
 }

@@ -1,151 +1,252 @@
 package bench
 
 import (
-	"fmt"
 	"io"
 	"math/bits"
+
+	"repro/internal/harness"
 )
 
-// Exp05StealBounds verifies Observation 4.3 (at most p−1 steals of any one
-// priority) and Corollary 4.1 (at most 2·p·D′ steal attempts) exactly, for
-// every algorithm in the catalog.
-func Exp05StealBounds(w io.Writer, quick bool) {
-	header(w, "EXP05 — Obs 4.3 (≤p−1 steals/priority) and Cor 4.1 (≤2pD′ attempts)")
+// EXP05 verifies Observation 4.3 (at most p−1 steals of any one priority)
+// and Corollary 4.1 (at most 2·p·D′ steal attempts) exactly, for every
+// algorithm in the catalog.  Bound = 2pD′; Note records "ok" or "violation".
+func exp05Cells(p Params) []harness.Cell {
 	procs := []int{2, 4, 8}
-	if quick {
+	if p.Quick {
 		procs = []int{4}
 	}
-	fmt.Fprintf(w, "%-16s %-4s %-12s %-8s %-10s %-10s %-6s\n",
-		"Algorithm", "p", "steals/prio", "p-1", "attempts", "2pD'", "ok")
-	for _, a := range Catalog() {
-		n := a.Sizes[0]
-		for _, p := range procs {
-			res := Run(a, n, DefaultSpec(p))
-			maxPrio := res.MaxStealsPerPrio()
-			bound := 2 * int64(p) * int64(res.DistinctPrios)
-			ok := maxPrio <= int64(p-1) && res.StealAttempts <= bound
-			fmt.Fprintf(w, "%-16s %-4d %-12d %-8d %-10d %-10d %-6v\n",
-				a.Name, p, maxPrio, p-1, res.StealAttempts, bound, ok)
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, a := range Catalog() {
+			a := a
+			n := a.Sizes[0]
+			for _, pr := range procs {
+				pr, spec := pr, stamp(DefaultSpec(pr), rep, seed)
+				cells = append(cells, harness.Cell{
+					Exp: "EXP05", Label: a.Name,
+					Run: func() []harness.Row {
+						r := measure("EXP05", a, n, spec)
+						r.Bound = float64(2 * int64(pr) * r.DistinctPrios)
+						if r.MaxStealsPerPrio <= int64(pr-1) && r.StealAttempts <= int64(r.Bound) {
+							r.Note = "ok"
+						} else {
+							r.Note = "violation"
+						}
+						return []harness.Row{r}
+					},
+				})
+			}
 		}
-	}
+	})
+	return cells
 }
 
-// Exp06PWSvsRWS is the headline comparison: identical computations under the
+func exp05Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP05 — Obs 4.3 (≤p−1 steals/priority) and Cor 4.1 (≤2pD′ attempts)")
+	t := harness.NewTable(w, "Algorithm", "p", "steals/prio", "p-1", "attempts", "2pD'", "ok")
+	for _, r := range rows {
+		t.Line(r.Algo, harness.F(r.P), harness.F(r.MaxStealsPerPrio), harness.F(r.P-1),
+			harness.F(r.StealAttempts), harness.F(int64(r.Bound)), harness.F(r.Note == "ok"))
+	}
+	t.Flush()
+}
+
+// EXP06 is the headline comparison: identical computations under the
 // deterministic PWS scheduler versus classic randomized work stealing.  The
 // paper proves PWS achieves lower caching overhead from steals; RWS steals
 // deeper (smaller) tasks, incurring more excess misses and more block
-// misses.
-func Exp06PWSvsRWS(w io.Writer, quick bool) {
-	header(w, "EXP06 — PWS vs RWS")
-	algos := []string{"Scan(M-Sum)", "MT (BI)", "FFT", "Strassen (BI)"}
-	procs := []int{4, 8}
-	if quick {
-		procs = []int{8}
+// misses.  Finish sets Aux1 = cache-miss excess over the serial PWS base.
+func exp06Cells(p Params) []harness.Cell {
+	procs := []int{1, 4, 8}
+	if p.Quick {
+		procs = []int{1, 8}
 	}
-	fmt.Fprintf(w, "%-14s %-4s %-6s %-10s %-10s %-10s %-10s %-10s\n",
-		"Algorithm", "p", "sched", "cacheExc", "blockMiss", "steals", "makespan", "idle")
-	for _, name := range algos {
-		a, _ := FindAlgo(name)
-		n := a.Sizes[1]
-		base := Run(a, n, DefaultSpec(1))
-		for _, p := range procs {
-			for _, s := range []string{"pws", "rws"} {
-				spec := DefaultSpec(p)
-				spec.Sched = s
-				res := Run(a, n, spec)
-				fmt.Fprintf(w, "%-14s %-4d %-6s %-10d %-10d %-10d %-10d %-10d\n",
-					a.Name, p, res.Scheduler,
-					res.Total.ColdMisses-base.Total.ColdMisses,
-					res.BlockMisses(), res.Steals, res.Makespan, res.Total.IdleTime)
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, name := range []string{"Scan(M-Sum)", "MT (BI)", "FFT", "Strassen (BI)"} {
+			a, _ := FindAlgo(name)
+			n := a.Sizes[1]
+			for _, pr := range procs {
+				scheds := []string{"pws", "rws"}
+				if pr == 1 {
+					scheds = []string{"pws"} // the serial baseline
+				}
+				for _, s := range scheds {
+					a, n := a, n
+					spec := stamp(DefaultSpec(pr), rep, seed)
+					spec.Sched = s
+					cells = append(cells, harness.Cell{
+						Exp: "EXP06", Label: a.Name + "/" + s,
+						Run: func() []harness.Row {
+							return []harness.Row{measure("EXP06", a, n, spec)}
+						},
+					})
+				}
 			}
 		}
-	}
+	})
+	return cells
 }
 
-// Exp07Gapping is the gapping ablation of Section 3.2: converting BI to RM
+func exp06Finish(rows []harness.Row) []harness.Row {
+	for i, r := range rows {
+		base, ok := findRow(rows, func(b harness.Row) bool {
+			return b.P == 1 && b.Sched == "pws" && b.Algo == r.Algo && b.N == r.N && b.Repeat == r.Repeat
+		})
+		if !ok || r.P == 1 {
+			continue
+		}
+		rows[i].Aux1 = float64(r.CacheMisses - base.CacheMisses)
+	}
+	return rows
+}
+
+func exp06Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP06 — PWS vs RWS")
+	t := harness.NewTable(w, "Algorithm", "p", "sched", "cacheExc", "blockMiss", "steals", "makespan", "idle")
+	for _, r := range rows {
+		if r.P == 1 {
+			continue
+		}
+		t.Line(r.Algo, harness.F(r.P), r.Sched, harness.F(int64(r.Aux1)),
+			harness.F(r.BlockMisses+r.UpgradeMisses), harness.F(r.Steals),
+			harness.F(r.Makespan), harness.F(r.IdleTime))
+	}
+	t.Flush()
+}
+
+// EXP07 is the gapping ablation of Section 3.2: converting BI to RM
 // directly has L(r)=√r (parallel tasks ping-pong row blocks), while the
 // gapped destination gives tasks of size ≥ (B log²B)² zero write sharing at
-// a constant-factor space cost, plus a compress scan.
-func Exp07Gapping(w io.Writer, quick bool) {
-	header(w, "EXP07 — gapping ablation: Direct BI-RM vs BI-RM (gap RM)")
+// a constant-factor space cost, plus a compress scan.  Both variants run in
+// one cell; Ratio = (direct block misses + 1)/(gapped block misses + 1).
+func exp07Cells(p Params) []harness.Cell {
 	sizes := []int64{64, 128, 256}
-	if quick {
+	if p.Quick {
 		sizes = []int64{64, 128}
 	}
-	direct, _ := FindAlgo("Direct BI-RM")
-	gapped, _ := FindAlgo("BI-RM (gap RM)")
-	fmt.Fprintf(w, "%-8s %-4s %-22s %-22s %-10s\n",
-		"n", "p", "direct blk/upgrades", "gapped blk/upgrades", "ratio")
-	for _, n := range sizes {
-		for _, p := range []int{8} {
-			d := Run(direct, n, DefaultSpec(p))
-			g := Run(gapped, n, DefaultSpec(p))
-			ratio := float64(d.BlockMisses()+1) / float64(g.BlockMisses()+1)
-			fmt.Fprintf(w, "%-8d %-4d %10d/%-10d %10d/%-10d %-10.2f\n",
-				n, p, d.Total.BlockMisses, d.Total.UpgradeMisses,
-				g.Total.BlockMisses, g.Total.UpgradeMisses, ratio)
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, n := range sizes {
+			n, spec := n, stamp(DefaultSpec(8), rep, seed)
+			cells = append(cells, harness.Cell{
+				Exp: "EXP07", Label: "BI-RM",
+				Run: func() []harness.Row {
+					direct, _ := FindAlgo("Direct BI-RM")
+					gapped, _ := FindAlgo("BI-RM (gap RM)")
+					d := measure("EXP07", direct, n, spec)
+					g := measure("EXP07", gapped, n, spec)
+					ratio := float64(d.BlockMisses+d.UpgradeMisses+1) /
+						float64(g.BlockMisses+g.UpgradeMisses+1)
+					d.Ratio, g.Ratio = ratio, ratio
+					return []harness.Row{d, g}
+				},
+			})
 		}
-	}
+	})
+	return cells
 }
 
-// Exp08Padding is the §4.7 ablation: padded BP computations allocate √|τ|
-// pads between stack frames so frames of different tasks rarely share a
-// block, cutting the block-wait component of steals to O(b log p).
-func Exp08Padding(w io.Writer, quick bool) {
-	header(w, "EXP08 — padding ablation (§4.7): execution-stack block sharing")
-	algos := []string{"Scan(M-Sum)", "Scan(PS)", "FFT"}
-	fmt.Fprintf(w, "%-14s %-4s %-8s %-12s %-12s %-12s %-12s\n",
-		"Algorithm", "p", "padded", "blockMiss", "blockWait", "makespan", "stackHW")
-	for _, name := range algos {
+func exp07Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP07 — gapping ablation: Direct BI-RM vs BI-RM (gap RM)")
+	t := harness.NewTable(w, "n", "p", "variant", "blockMiss", "upgrades", "ratio")
+	for _, r := range rows {
+		t.Line(harness.F(r.N), harness.F(r.P), r.Algo,
+			harness.F(r.BlockMisses), harness.F(r.UpgradeMisses), harness.F(r.Ratio))
+	}
+	t.Flush()
+}
+
+// EXP08 is the §4.7 ablation: padded BP computations allocate √|τ| pads
+// between stack frames so frames of different tasks rarely share a block,
+// cutting the block-wait component of steals to O(b log p).
+func exp08Cells(p Params) []harness.Cell {
+	grid := harness.Grid{Ps: []int{8}, Padded: []bool{false, true}, Repeats: p.reps(), Seed: p.Seed}
+	var cells []harness.Cell
+	for _, name := range []string{"Scan(M-Sum)", "Scan(PS)", "FFT"} {
 		a, _ := FindAlgo(name)
 		n := a.Sizes[1]
-		if quick {
+		if p.Quick {
 			n = a.Sizes[0]
 		}
-		for _, padded := range []bool{false, true} {
-			spec := DefaultSpec(8)
-			spec.Padded = padded
-			res := Run(a, n, spec)
-			fmt.Fprintf(w, "%-14s %-4d %-8v %-12d %-12d %-12d %-12d\n",
-				a.Name, 8, padded, res.BlockMisses(), res.Total.BlockWait,
-				res.Makespan, res.StackHighWater)
+		for _, spec := range grid.Specs() {
+			a, n, spec := a, n, spec
+			cells = append(cells, harness.Cell{
+				Exp: "EXP08", Label: a.Name,
+				Run: func() []harness.Row {
+					return []harness.Row{measure("EXP08", a, n, spec)}
+				},
+			})
 		}
 	}
+	return cells
 }
 
-// Exp09Runtime checks Lemma 4.12's running-time form: makespan should be
-// O((W + b·Q)/p + sP·T∞) with sP = b·(1+⌈log₂p⌉).  The ratio
-// makespan/bound should be Θ(1) across p for every Type-1/2 algorithm.
-func Exp09Runtime(w io.Writer, quick bool) {
-	header(w, "EXP09 — Lemma 4.12: makespan vs (W + b·Q)/p + sP·T∞")
+func exp08Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP08 — padding ablation (§4.7): execution-stack block sharing")
+	t := harness.NewTable(w, "Algorithm", "p", "padded", "blockMiss", "blockWait", "makespan", "stackHW")
+	for _, r := range rows {
+		t.Line(r.Algo, harness.F(r.P), harness.F(r.Padded),
+			harness.F(r.BlockMisses+r.UpgradeMisses), harness.F(r.BlockWait),
+			harness.F(r.Makespan), harness.F(r.StackHighWater))
+	}
+	t.Flush()
+}
+
+// EXP09 checks Lemma 4.12's running-time form: makespan should be
+// O((W + b·Q)/p + sP·T∞) with sP = b·(1+⌈log₂p⌉).  Bound is that formula,
+// Ratio = makespan/bound (should be Θ(1) across p), and Finish fills
+// Aux1 = speedup over the p=1 run.
+func exp09Cells(p Params) []harness.Cell {
 	procs := []int{1, 2, 4, 8, 16}
-	if quick {
+	if p.Quick {
 		procs = []int{1, 4, 16}
 	}
 	algos := []string{"Scan(M-Sum)", "Scan(PS)", "MT (BI)", "RM to BI",
 		"BI-RM (gap RM)", "BI-RM for FFT", "Strassen (BI)", "Depth-n-MM", "FFT"}
-	fmt.Fprintf(w, "%-16s %-4s %-12s %-12s %-8s %-10s\n",
-		"Algorithm", "p", "makespan", "bound", "ratio", "speedup")
-	for _, name := range algos {
-		a, _ := FindAlgo(name)
-		n := a.Sizes[1]
-		var serial int64
-		for _, p := range procs {
-			spec := DefaultSpec(p)
-			res := Run(a, n, spec)
-			if p == 1 {
-				serial = res.Makespan
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, name := range algos {
+			a, _ := FindAlgo(name)
+			n := a.Sizes[1]
+			for _, pr := range procs {
+				a, n, pr := a, n, pr
+				spec := stamp(DefaultSpec(pr), rep, seed)
+				cells = append(cells, harness.Cell{
+					Exp: "EXP09", Label: a.Name,
+					Run: func() []harness.Row {
+						r := measure("EXP09", a, n, spec)
+						b := spec.MissLatency
+						sP := b * int64(1+ceilLog2(pr))
+						q := r.CacheMisses // misses actually incurred
+						r.Bound = float64((r.Work+b*q)/int64(pr) + sP*r.CritPath)
+						r.Ratio = float64(r.Makespan) / r.Bound
+						return []harness.Row{r}
+					},
+				})
 			}
-			b := spec.MissLatency
-			sP := b * int64(1+ceilLog2(p))
-			q := res.Total.ColdMisses // misses actually incurred
-			bound := (res.Work+b*q)/int64(p) + sP*res.CritPath
-			fmt.Fprintf(w, "%-16s %-4d %-12d %-12d %-8.2f %-10.2f\n",
-				a.Name, p, res.Makespan, bound,
-				float64(res.Makespan)/float64(bound),
-				float64(serial)/float64(res.Makespan))
+		}
+	})
+	return cells
+}
+
+func exp09Finish(rows []harness.Row) []harness.Row {
+	for i, r := range rows {
+		if base, ok := baseFor(rows, r); ok {
+			rows[i].Aux1 = float64(base.Makespan) / float64(r.Makespan)
 		}
 	}
+	return rows
+}
+
+func exp09Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP09 — Lemma 4.12: makespan vs (W + b·Q)/p + sP·T∞")
+	t := harness.NewTable(w, "Algorithm", "p", "makespan", "bound", "ratio", "speedup")
+	for _, r := range rows {
+		t.Line(r.Algo, harness.F(r.P), harness.F(r.Makespan), harness.F(int64(r.Bound)),
+			harness.F(r.Ratio), harness.F(r.Aux1))
+	}
+	t.Flush()
 }
 
 func ceilLog2(p int) int {

@@ -1,70 +1,146 @@
 package bench
 
 import (
-	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/algos/listrank"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/mem"
 )
 
-// Exp10ListRank checks Theorem 4.1 / Lemmas 4.13–4.15: LR's serial cache
-// complexity should track the sort bound (n/B)·(log n/log M); its block
-// misses should be tamed by gapping (no list-state block misses once the
-// contracted list is smaller than n/B²).
-func Exp10ListRank(w io.Writer, quick bool) {
-	header(w, "EXP10 — Theorem 4.1: list ranking")
+// EXP10 checks Theorem 4.1 / Lemmas 4.13–4.15: LR's serial cache complexity
+// should track the sort bound (n/B)·(log n/log M); its block misses should
+// be tamed by gapping (no list-state block misses once the contracted list
+// is smaller than n/B²).  Serial rows carry Bound/Ratio (note "serial");
+// the p=8 ablation rows are tagged "gapped"/"nogap".
+func exp10Cells(p Params) []harness.Cell {
 	sizes := []int64{256, 512, 1024}
-	if quick {
+	if p.Quick {
 		sizes = []int64{256, 512}
 	}
-	fmt.Fprintf(w, "%-8s %-10s %-14s %-10s  (serial)\n", "n", "Q", "(n/B)(lg n/lg M)", "ratio")
-	for _, n := range sizes {
-		res := runLR(n, 1, false)
-		bound := float64(n) / 16 * math.Log2(float64(n)) / math.Log2(1024)
-		fmt.Fprintf(w, "%-8d %-10d %-14.0f %-10.2f\n",
-			n, res.Total.ColdMisses, bound, float64(res.Total.ColdMisses)/bound)
-	}
-	fmt.Fprintf(w, "\ngapping ablation (p=8):\n%-8s %-8s %-14s %-14s\n", "n", "gapped", "blockMisses", "makespan")
-	for _, n := range sizes {
-		for _, nogap := range []bool{false, true} {
-			res := runLR(n, 8, nogap)
-			fmt.Fprintf(w, "%-8d %-8v %-14d %-14d\n", n, !nogap, res.BlockMisses(), res.Makespan)
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, n := range sizes {
+			n, spec := n, stamp(DefaultSpec(1), rep, seed)
+			cells = append(cells, harness.Cell{
+				Exp: "EXP10", Label: "LR/serial",
+				Run: func() []harness.Row {
+					r := runLRRow(n, spec, false)
+					r.Note = "serial"
+					r.Bound = float64(n) / float64(spec.B) *
+						math.Log2(float64(n)) / math.Log2(float64(spec.M))
+					r.Ratio = float64(r.CacheMisses) / r.Bound
+					return []harness.Row{r}
+				},
+			})
 		}
-	}
+		for _, n := range sizes {
+			for _, nogap := range []bool{false, true} {
+				n, nogap := n, nogap
+				spec := stamp(DefaultSpec(8), rep, seed)
+				cells = append(cells, harness.Cell{
+					Exp: "EXP10", Label: "LR/ablation",
+					Run: func() []harness.Row {
+						r := runLRRow(n, spec, nogap)
+						if nogap {
+							r.Note = "nogap"
+						} else {
+							r.Note = "gapped"
+						}
+						return []harness.Row{r}
+					},
+				})
+			}
+		}
+	})
+	return cells
 }
 
-func runLR(n int64, p int, nogap bool) core.Result {
-	spec := DefaultSpec(p)
+// runLRRow measures one list-ranking run (LR needs its own builder because
+// the gapping cutoff is an option, not a catalog entry).
+func runLRRow(n int64, spec Spec, nogap bool) harness.Row {
+	start := time.Now()
 	m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
-	succ := randPermList(m.Space, n, 14)
+	succ := randPermList(m.Space, n, spec.Seed+14)
 	rank := mem.NewArray(m.Space, n)
 	root := listrank.Rank(succ, rank, listrank.Options{NoGap: nogap})
-	return core.NewEngine(m, spec.scheduler(), core.Options{}).Run(root)
+	res := core.NewEngine(m, scheduler(spec), core.Options{}).Run(root)
+	return rowFrom("EXP10", "LR", n, spec, res, time.Since(start))
 }
 
-// Exp11CC checks that CC costs ≈ log n times LR at the same size, the shape
+func exp10Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP10 — Theorem 4.1: list ranking")
+	t := harness.NewTable(w, "n", "Q", "(n/B)(lg n/lg M)", "ratio  (serial)")
+	for _, r := range rows {
+		if r.Note != "serial" {
+			continue
+		}
+		t.Line(harness.F(r.N), harness.F(r.CacheMisses), harness.F(int64(r.Bound)), harness.F(r.Ratio))
+	}
+	t.Flush()
+	io.WriteString(w, "\ngapping ablation (p=8):\n")
+	t = harness.NewTable(w, "n", "gapped", "blockMisses", "makespan")
+	for _, r := range rows {
+		if r.Note != "gapped" && r.Note != "nogap" {
+			continue
+		}
+		t.Line(harness.F(r.N), harness.F(r.Note == "gapped"),
+			harness.F(r.BlockMisses+r.UpgradeMisses), harness.F(r.Makespan))
+	}
+	t.Flush()
+}
+
+// EXP11 checks that CC costs ≈ log n times LR at the same size, the shape
 // the paper derives (Section 4.6): work, cache misses and critical path all
-// pick up a log n factor.
-func Exp11CC(w io.Writer, quick bool) {
-	header(w, "EXP11 — CC = log n × LR cost shape")
+// pick up a log n factor.  The CC row of each pair carries Aux1 = W-ratio,
+// Aux2 = W-ratio/lg n, Aux3 = Q-ratio/lg n.
+func exp11Cells(p Params) []harness.Cell {
 	sizes := []int64{64, 128, 256}
-	if quick {
+	if p.Quick {
 		sizes = []int64{64, 128}
 	}
-	cc, _ := FindAlgo("CC")
-	fmt.Fprintf(w, "%-8s %-12s %-12s %-10s %-12s %-10s\n",
-		"n", "W(CC)", "W(LR)", "W-ratio", "ratio/lg n", "Q-ratio/lg n")
-	for _, n := range sizes {
-		rcc := Run(cc, n, DefaultSpec(1))
-		rlr := runLR(n, 1, false)
-		lg := math.Log2(float64(n))
-		wr := float64(rcc.Work) / float64(rlr.Work)
-		qr := float64(rcc.Total.ColdMisses) / float64(rlr.Total.ColdMisses)
-		fmt.Fprintf(w, "%-8d %-12d %-12d %-10.2f %-12.2f %-10.2f\n",
-			n, rcc.Work, rlr.Work, wr, wr/lg, qr/lg)
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, n := range sizes {
+			n, spec := n, stamp(DefaultSpec(1), rep, seed)
+			cells = append(cells, harness.Cell{
+				Exp: "EXP11", Label: "CC-vs-LR",
+				Run: func() []harness.Row {
+					cc, _ := FindAlgo("CC")
+					rcc := measure("EXP11", cc, n, spec)
+					rlr := runLRRow(n, spec, false)
+					rlr.Exp = "EXP11"
+					lg := math.Log2(float64(n))
+					wr := float64(rcc.Work) / float64(rlr.Work)
+					qr := float64(rcc.CacheMisses) / float64(rlr.CacheMisses)
+					rcc.Aux1, rcc.Aux2, rcc.Aux3 = wr, wr/lg, qr/lg
+					return []harness.Row{rcc, rlr}
+				},
+			})
+		}
+	})
+	return cells
+}
+
+func exp11Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP11 — CC = log n × LR cost shape")
+	t := harness.NewTable(w, "n", "W(CC)", "W(LR)", "W-ratio", "ratio/lg n", "Q-ratio/lg n")
+	for _, r := range rows {
+		if r.Algo != "CC" {
+			continue
+		}
+		lr, ok := findRow(rows, func(b harness.Row) bool {
+			return b.Algo == "LR" && b.N == r.N && b.Repeat == r.Repeat
+		})
+		if !ok {
+			continue
+		}
+		t.Line(harness.F(r.N), harness.F(r.Work), harness.F(lr.Work),
+			harness.F(r.Aux1), harness.F(r.Aux2), harness.F(r.Aux3))
 	}
+	t.Flush()
 }

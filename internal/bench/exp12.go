@@ -1,24 +1,29 @@
 package bench
 
 import (
-	"fmt"
 	"io"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/rt"
 )
 
-// Exp12Goroutine runs representative workloads on the real goroutine
-// work-stealing runtime (internal/rt) and reports wall-clock speedups for
-// the random (RWS) and priority (PWS-flavoured) victim policies.  This is
-// the usability check: the same fork-join programs the simulator analyzes
-// run with genuine parallelism.
-func Exp12Goroutine(w io.Writer, quick bool) {
-	header(w, "EXP12 — goroutine runtime wall-clock speedup")
+// EXP12 runs representative workloads on the real goroutine work-stealing
+// runtime (internal/rt) and reports wall-clock speedups for the random
+// (RWS) and priority (PWS-flavoured) victim policies.  This is the
+// usability check: the same fork-join programs the simulator analyzes run
+// with genuine parallelism.  Cells are Exclusive (one at a time, so the
+// timings are not skewed by the harness's own pool) and rows are Volatile
+// (wall-clock measurements are not reproducible).  Finish fills
+// Aux1 = speedup over the same policy's p=1 run.
+func exp12Cells(p Params) []harness.Cell {
 	n := 1 << 22
-	if quick {
+	if p.Quick {
 		n = 1 << 20
 	}
+	// The input depends only on n; build it once and share it read-only
+	// across the cells (they run exclusively, and concurrent reads would be
+	// safe anyway) instead of paying 32MB + two O(n) passes per cell.
 	data := make([]int64, n)
 	for i := range data {
 		data[i] = int64(i % 1000)
@@ -27,31 +32,64 @@ func Exp12Goroutine(w io.Writer, quick bool) {
 	for _, v := range data {
 		want += v
 	}
-
 	procs := []int{1, 2, 4, 8}
-	fmt.Fprintf(w, "%-10s %-4s %-10s %-12s %-10s %-8s\n",
-		"workload", "p", "policy", "time", "speedup", "steals")
-	for _, policy := range []rt.Policy{rt.Random, rt.Priority} {
-		name := map[rt.Policy]string{rt.Random: "random", rt.Priority: "priority"}[policy]
-		var base time.Duration
-		for _, p := range procs {
-			pool := rt.NewPool(p, policy)
-			var got int64
-			start := time.Now()
-			pool.Run(func(c *rt.Ctx) {
-				got = c.Reduce(0, n, 2048, func(i int) int64 { return data[i] })
-			})
-			el := time.Since(start)
-			if p == 1 {
-				base = el
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, policy := range []rt.Policy{rt.Random, rt.Priority} {
+			name := map[rt.Policy]string{rt.Random: "random", rt.Priority: "priority"}[policy]
+			for _, pr := range procs {
+				policy, name, pr := policy, name, pr
+				cells = append(cells, harness.Cell{
+					Exp: "EXP12", Label: "reduce/" + name, Exclusive: true,
+					Run: func() []harness.Row {
+						pool := rt.NewPool(pr, policy)
+						var got int64
+						start := time.Now()
+						pool.Run(func(c *rt.Ctx) {
+							got = c.Reduce(0, n, 2048, func(i int) int64 { return data[i] })
+						})
+						el := time.Since(start)
+						r := harness.Row{
+							Exp: "EXP12", Algo: "reduce", N: int64(n), P: pr,
+							Sched: name, Repeat: rep, Seed: seed,
+							Steals: pool.Steals(), WallNS: el.Nanoseconds(),
+							Volatile: true, Note: "ok",
+						}
+						if got != want {
+							r.Note = "WRONG RESULT"
+						}
+						return []harness.Row{r}
+					},
+				})
 			}
-			status := ""
-			if got != want {
-				status = "  WRONG RESULT"
-			}
-			fmt.Fprintf(w, "%-10s %-4d %-10s %-12v %-10.2f %-8d%s\n",
-				"reduce", p, name, el.Round(time.Microsecond),
-				float64(base)/float64(el), pool.Steals(), status)
+		}
+	})
+	return cells
+}
+
+func exp12Finish(rows []harness.Row) []harness.Row {
+	for i, r := range rows {
+		base, ok := findRow(rows, func(b harness.Row) bool {
+			return b.P == 1 && b.Sched == r.Sched && b.Algo == r.Algo && b.Repeat == r.Repeat
+		})
+		if ok && r.WallNS > 0 {
+			rows[i].Aux1 = float64(base.WallNS) / float64(r.WallNS)
 		}
 	}
+	return rows
+}
+
+func exp12Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP12 — goroutine runtime wall-clock speedup")
+	t := harness.NewTable(w, "workload", "p", "policy", "time", "speedup", "steals", "status")
+	for _, r := range rows {
+		status := ""
+		if r.Note != "ok" {
+			status = r.Note
+		}
+		t.Line(r.Algo, harness.F(r.P), r.Sched,
+			time.Duration(r.WallNS).Round(time.Microsecond).String(),
+			harness.F(r.Aux1), harness.F(r.Steals), status)
+	}
+	t.Flush()
 }

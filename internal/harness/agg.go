@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"encoding/csv"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Stat is a mean/std pair over the repeats of one grid cell.
+type Stat struct {
+	Mean float64
+	Std  float64
+}
+
+func newStat(vals []float64) Stat {
+	n := float64(len(vals))
+	if n == 0 {
+		return Stat{Mean: math.NaN(), Std: math.NaN()}
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / n
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	// Population std: repeats are the whole population of this run.
+	return Stat{Mean: mean, Std: math.Sqrt(ss / n)}
+}
+
+// Agg is the cross-repeat aggregate of one grid cell.
+type Agg struct {
+	Exp    string
+	Algo   string
+	N      int64
+	P      int
+	M      int
+	B      int
+	Sched  string
+	Padded bool
+	Note   string
+	Count  int
+
+	Makespan    Stat
+	Work        Stat
+	CacheMisses Stat
+	BlockMisses Stat
+	Ratio       Stat
+	WallNS      Stat
+}
+
+// Aggregate groups rows by identity (everything but repeat/seed) and
+// computes mean/std across the repeats of each group.  Groups appear in
+// first-seen row order, so the output is deterministic.
+func Aggregate(rows []Row) []Agg {
+	type group struct {
+		first    Row
+		makespan []float64
+		work     []float64
+		cache    []float64
+		block    []float64
+		ratio    []float64
+		wall     []float64
+	}
+	index := map[string]int{}
+	var order []*group
+	for _, r := range rows {
+		k := r.Key()
+		i, ok := index[k]
+		if !ok {
+			i = len(order)
+			index[k] = i
+			order = append(order, &group{first: r})
+		}
+		g := order[i]
+		g.makespan = append(g.makespan, float64(r.Makespan))
+		g.work = append(g.work, float64(r.Work))
+		g.cache = append(g.cache, float64(r.CacheMisses))
+		g.block = append(g.block, float64(r.BlockMisses+r.UpgradeMisses))
+		g.ratio = append(g.ratio, r.Ratio)
+		g.wall = append(g.wall, float64(r.WallNS))
+	}
+	out := make([]Agg, len(order))
+	for i, g := range order {
+		f := g.first
+		out[i] = Agg{
+			Exp: f.Exp, Algo: f.Algo, N: f.N, P: f.P, M: f.M, B: f.B,
+			Sched: f.Sched, Padded: f.Padded, Note: f.Note,
+			Count:       len(g.makespan),
+			Makespan:    newStat(g.makespan),
+			Work:        newStat(g.work),
+			CacheMisses: newStat(g.cache),
+			BlockMisses: newStat(g.block),
+			Ratio:       newStat(g.ratio),
+			WallNS:      newStat(g.wall),
+		}
+	}
+	return out
+}
+
+// aggHeader lists the summary CSV columns.
+var aggHeader = []string{
+	"exp", "algo", "n", "p", "m", "b", "sched", "padded", "note", "count",
+	"makespan_mean", "makespan_std", "work_mean", "work_std",
+	"cache_misses_mean", "cache_misses_std", "block_misses_mean", "block_misses_std",
+	"ratio_mean", "ratio_std", "wall_ns_mean", "wall_ns_std",
+}
+
+// WriteAggCSV emits the grouped summary (one record per grid cell).
+func WriteAggCSV(w io.Writer, aggs []Agg) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(aggHeader); err != nil {
+		return err
+	}
+	ff := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	for _, a := range aggs {
+		rec := []string{
+			a.Exp, a.Algo, strconv.FormatInt(a.N, 10),
+			strconv.Itoa(a.P), strconv.Itoa(a.M), strconv.Itoa(a.B),
+			a.Sched, strconv.FormatBool(a.Padded), a.Note, strconv.Itoa(a.Count),
+			ff(a.Makespan.Mean), ff(a.Makespan.Std),
+			ff(a.Work.Mean), ff(a.Work.Std),
+			ff(a.CacheMisses.Mean), ff(a.CacheMisses.Std),
+			ff(a.BlockMisses.Mean), ff(a.BlockMisses.Std),
+			ff(a.Ratio.Mean), ff(a.Ratio.Std),
+			ff(a.WallNS.Mean), ff(a.WallNS.Std),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

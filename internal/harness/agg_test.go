@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregateMeanStd(t *testing.T) {
+	rows := []Row{
+		{Exp: "EXP02", Algo: "Scan", N: 64, P: 4, Repeat: 0, Makespan: 10, Ratio: 1.0, WallNS: 100},
+		{Exp: "EXP02", Algo: "Scan", N: 64, P: 4, Repeat: 1, Makespan: 14, Ratio: 3.0, WallNS: 300},
+		{Exp: "EXP02", Algo: "Scan", N: 64, P: 8, Repeat: 0, Makespan: 7},
+	}
+	aggs := Aggregate(rows)
+	if len(aggs) != 2 {
+		t.Fatalf("got %d groups, want 2", len(aggs))
+	}
+	a := aggs[0]
+	if a.Count != 2 || a.P != 4 {
+		t.Fatalf("first group = %+v", a)
+	}
+	if a.Makespan.Mean != 12 || a.Makespan.Std != 2 {
+		t.Errorf("makespan stat = %+v, want mean 12 std 2", a.Makespan)
+	}
+	if a.Ratio.Mean != 2 || a.Ratio.Std != 1 {
+		t.Errorf("ratio stat = %+v, want mean 2 std 1", a.Ratio)
+	}
+	if aggs[1].Count != 1 || aggs[1].Makespan.Std != 0 {
+		t.Errorf("singleton group = %+v", aggs[1])
+	}
+}
+
+func TestAggregateGroupsSeparateNotes(t *testing.T) {
+	rows := []Row{
+		{Exp: "EXP10", N: 256, Note: "gapped", Makespan: 5},
+		{Exp: "EXP10", N: 256, Note: "nogap", Makespan: 9},
+	}
+	if got := Aggregate(rows); len(got) != 2 {
+		t.Fatalf("notes merged: %d groups, want 2", len(got))
+	}
+}
+
+func TestAggregateOrderIsFirstSeen(t *testing.T) {
+	rows := []Row{
+		{Exp: "B"}, {Exp: "A"}, {Exp: "B"}, {Exp: "C"}, {Exp: "A"},
+	}
+	aggs := Aggregate(rows)
+	var order []string
+	for _, a := range aggs {
+		order = append(order, a.Exp)
+	}
+	if strings.Join(order, "") != "BAC" {
+		t.Errorf("group order %v, want [B A C]", order)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if got := Aggregate(nil); len(got) != 0 {
+		t.Errorf("aggregating no rows gave %d groups", len(got))
+	}
+}
+
+func TestNewStatEmpty(t *testing.T) {
+	s := newStat(nil)
+	if !math.IsNaN(s.Mean) || !math.IsNaN(s.Std) {
+		t.Errorf("empty stat = %+v, want NaN/NaN", s)
+	}
+}
+
+func TestWriteAggCSV(t *testing.T) {
+	rows := []Row{
+		{Exp: "EXP02", Algo: "Scan, v2", N: 64, P: 4, Makespan: 10},
+		{Exp: "EXP02", Algo: "Scan, v2", N: 64, P: 4, Repeat: 1, Makespan: 14},
+	}
+	var buf bytes.Buffer
+	if err := WriteAggCSV(&buf, Aggregate(rows)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header+1", len(lines))
+	}
+	if lines[0] != strings.Join(aggHeader, ",") {
+		t.Errorf("bad header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"Scan, v2"`) {
+		t.Errorf("comma in algo name not quoted: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], ",12,2,") {
+		t.Errorf("mean/std 12/2 missing from %q", lines[1])
+	}
+}

@@ -1,0 +1,236 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteCSV emits a header line plus one CSV record per row.  Non-finite
+// floats are written as NaN/+Inf/-Inf, which ParseCSV reads back exactly.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	cols := columns()
+	if err := cw.Write(Header()); err != nil {
+		return err
+	}
+	rec := make([]string, len(cols))
+	for i := range rows {
+		for j, c := range cols {
+			rec[j] = formatValue(c.kind, c.get(&rows[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseCSV reads rows written by WriteCSV.  The header must match the
+// current schema exactly; an input with only a header yields zero rows.
+func ParseCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	cols := columns()
+	head, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("harness: empty CSV input (missing header)")
+	}
+	if err != nil {
+		return nil, err
+	}
+	want := Header()
+	if len(head) != len(want) {
+		return nil, fmt.Errorf("harness: CSV header has %d columns, want %d", len(head), len(want))
+	}
+	for i := range head {
+		if head[i] != want[i] {
+			return nil, fmt.Errorf("harness: CSV column %d is %q, want %q", i, head[i], want[i])
+		}
+	}
+	var rows []Row
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		var row Row
+		for j, c := range cols {
+			v, err := parseValue(c.kind, rec[j])
+			if err != nil {
+				return nil, fmt.Errorf("harness: row %d column %s: %w", len(rows)+1, c.name, err)
+			}
+			c.set(&row, v)
+		}
+		rows = append(rows, row)
+	}
+}
+
+// WriteJSONL emits one JSON object per row, keys in schema order.  JSON has
+// no NaN/Inf literals, so non-finite floats are emitted as null and read
+// back as NaN by ParseJSONL.
+func WriteJSONL(w io.Writer, rows []Row) error {
+	bw := bufio.NewWriter(w)
+	cols := columns()
+	for i := range rows {
+		for j, c := range cols {
+			if j == 0 {
+				bw.WriteByte('{')
+			} else {
+				bw.WriteByte(',')
+			}
+			key, _ := json.Marshal(c.name)
+			bw.Write(key)
+			bw.WriteByte(':')
+			if err := writeJSONValue(bw, c.kind, c.get(&rows[i])); err != nil {
+				return err
+			}
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+func writeJSONValue(w *bufio.Writer, k kind, v any) error {
+	switch k {
+	case kString:
+		b, err := json.Marshal(v.(string))
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	case kBool:
+		_, err := w.WriteString(strconv.FormatBool(v.(bool)))
+		return err
+	case kFloat:
+		f := v.(float64)
+		if !isFinite(f) {
+			_, err := w.WriteString("null")
+			return err
+		}
+		_, err := w.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		return err
+	default:
+		_, err := w.WriteString(formatValue(k, v))
+		return err
+	}
+}
+
+// ParseJSONL reads rows written by WriteJSONL.  Unknown keys are rejected;
+// missing keys keep their zero value; null floats become NaN.
+func ParseJSONL(r io.Reader) ([]Row, error) {
+	byName := map[string]column{}
+	for _, c := range columns() {
+		byName[c.name] = c
+	}
+	var rows []Row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader([]byte(text)))
+		dec.UseNumber()
+		var obj map[string]any
+		if err := dec.Decode(&obj); err != nil {
+			return nil, fmt.Errorf("harness: JSONL line %d: %w", line, err)
+		}
+		var row Row
+		for k, raw := range obj {
+			c, ok := byName[k]
+			if !ok {
+				return nil, fmt.Errorf("harness: JSONL line %d: unknown column %q", line, k)
+			}
+			v, err := jsonValue(c.kind, raw)
+			if err != nil {
+				return nil, fmt.Errorf("harness: JSONL line %d column %s: %w", line, k, err)
+			}
+			c.set(&row, v)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func jsonValue(k kind, raw any) (any, error) {
+	switch k {
+	case kString:
+		s, ok := raw.(string)
+		if !ok {
+			return nil, fmt.Errorf("want string, got %T", raw)
+		}
+		return s, nil
+	case kBool:
+		b, ok := raw.(bool)
+		if !ok {
+			return nil, fmt.Errorf("want bool, got %T", raw)
+		}
+		return b, nil
+	case kFloat:
+		if raw == nil {
+			return math.NaN(), nil
+		}
+		num, ok := raw.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("want number, got %T", raw)
+		}
+		return num.Float64()
+	default:
+		num, ok := raw.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("want integer, got %T", raw)
+		}
+		return parseValue(k, num.String())
+	}
+}
+
+// Table is a small helper for rendering paper-style text tables from rows:
+// tab-separated cells aligned by a tabwriter.
+type Table struct {
+	tw *tabwriter.Writer
+}
+
+// NewTable starts a table on w with the given column titles.
+func NewTable(w io.Writer, titles ...string) *Table {
+	t := &Table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+	t.Line(titles...)
+	return t
+}
+
+// Line appends one table line from pre-formatted cells.
+func (t *Table) Line(cells ...string) {
+	fmt.Fprintln(t.tw, strings.Join(cells, "\t"))
+}
+
+// Flush renders the accumulated lines.
+func (t *Table) Flush() { t.tw.Flush() }
+
+// F formats any value compactly for a table cell.
+func F(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'f', 2, 64)
+	case string:
+		return x
+	default:
+		return fmt.Sprint(v)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Policy selects the victim rule for steals.
@@ -78,6 +79,23 @@ func NewPool(p int, policy Policy) *Pool {
 // Steals reports the number of successful steals so far.
 func (p *Pool) Steals() int64 { return p.steals.Load() }
 
+// backoff paces a spinning waiter: yield for the first rounds, then sleep
+// briefly.  Without it, idle workers busy-wait and starve the workers that
+// actually hold tasks when cores are scarce (the harness runs pools wider
+// than the machine).
+type backoff int
+
+func (b *backoff) pause() {
+	*b++
+	if *b < 64 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(20 * time.Microsecond)
+}
+
+func (b *backoff) reset() { *b = 0 }
+
 // Run executes root to completion on the pool, then shuts the workers down.
 func (p *Pool) Run(root func(*Ctx)) {
 	t := &task{fn: root}
@@ -90,8 +108,9 @@ func (p *Pool) Run(root func(*Ctx)) {
 	// Worker 0's loop executes the root; when the root task completes the
 	// pool is told to stop.  The root fn must join all its forks before
 	// returning, so no work outlives it.
+	var idle backoff
 	for !t.done.Load() {
-		runtime.Gosched()
+		idle.pause()
 	}
 	p.stop.Store(true)
 	p.wg.Wait()
@@ -99,16 +118,19 @@ func (p *Pool) Run(root func(*Ctx)) {
 
 func (w *worker) loop() {
 	defer w.pool.wg.Done()
+	var idle backoff
 	for !w.pool.stop.Load() {
 		if t := w.pop(); t != nil {
 			w.runTask(t)
+			idle.reset()
 			continue
 		}
 		if t := w.pool.steal(w); t != nil {
 			w.runTask(t)
+			idle.reset()
 			continue
 		}
-		runtime.Gosched()
+		idle.pause()
 	}
 }
 
@@ -201,16 +223,19 @@ func (c *Ctx) Fork(fn func(*Ctx)) Handle {
 // worker's own deque (which most likely holds the forked task itself), then
 // steals.  Joining only your own forks keeps the discipline deadlock-free.
 func (c *Ctx) Join(h Handle) {
+	var idle backoff
 	for !h.t.done.Load() {
 		if t := c.w.pop(); t != nil {
 			c.w.runTask(t)
+			idle.reset()
 			continue
 		}
 		if t := c.w.pool.steal(c.w); t != nil {
 			c.w.runTask(t)
+			idle.reset()
 			continue
 		}
-		runtime.Gosched()
+		idle.pause()
 	}
 }
 

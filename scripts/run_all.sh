@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# run_all.sh — reproducible quick pass over the whole evaluation:
+#   1) gofmt/vet/build/test gate
+#   2) quick experiment grid -> runs/<stamp>/{csv,logs} archive
+#   3) sanity-check the emitted CSVs
+#
+# Usage: bash scripts/run_all.sh [outdir]   (default outdir: runs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-runs}"
+
+echo "== gate: gofmt =="
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== gate: go vet =="
+go vet ./...
+
+echo "== gate: go build + go test =="
+go build ./...
+go test ./...
+
+echo "== gate: go test -race ./internal/rt (harness substrate) =="
+go test -race ./internal/rt/
+
+echo "== gate: -race over concurrently executing grid cells =="
+# A golden subset at -parallel 8 is the only place experiment cells run
+# concurrently; race-check it without paying for the full suite under -race.
+go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12)' ./internal/bench/
+
+echo "== quick grid -> $OUT =="
+go run ./cmd/hbpbench -quick -repeats 2 -out "$OUT" > /dev/null
+dir=$(ls -d "$OUT"/*/ | sort | tail -1)
+dir="${dir%/}"
+echo "archived $dir"
+
+echo "== sanity: csv row counts =="
+rows_csv="$dir/csv/rows.csv"
+summary_csv="$dir/csv/summary.csv"
+jsonl="$dir/rows.jsonl"
+for f in "$rows_csv" "$summary_csv" "$jsonl" "$dir/logs/tables.txt"; do
+    [ -s "$f" ] || { echo "missing or empty: $f" >&2; exit 1; }
+done
+
+nrows=$(($(wc -l < "$rows_csv") - 1))
+nsum=$(($(wc -l < "$summary_csv") - 1))
+njson=$(wc -l < "$jsonl")
+echo "rows.csv: $nrows rows; summary.csv: $nsum groups; rows.jsonl: $njson lines"
+[ "$nrows" -gt 0 ] || { echo "rows.csv has no data rows" >&2; exit 1; }
+[ "$njson" -eq "$nrows" ] || { echo "jsonl/csv row mismatch: $njson vs $nrows" >&2; exit 1; }
+# 2 repeats per cell -> exactly half as many summary groups as rows.
+[ $((nsum * 2)) -eq "$nrows" ] || { echo "summary groups $nsum != rows/$nrows/2" >&2; exit 1; }
+
+head -1 "$rows_csv" | grep -q '^exp,algo,n,p,m,b,' || { echo "unexpected rows.csv header" >&2; exit 1; }
+# every experiment must have produced rows
+for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12; do
+    grep -q "^$e," "$rows_csv" || { echo "no rows for $e" >&2; exit 1; }
+done
+
+echo "== determinism: -canon rows identical at -parallel 1 vs 8 (EXP05) =="
+go run ./cmd/hbpbench -quick -exp EXP05 -parallel 1 -canon -json > "$dir/logs/p1.jsonl"
+go run ./cmd/hbpbench -quick -exp EXP05 -parallel 8 -canon -json > "$dir/logs/p8.jsonl"
+cmp "$dir/logs/p1.jsonl" "$dir/logs/p8.jsonl"
+
+echo "run_all: OK ($dir)"
