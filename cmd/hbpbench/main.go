@@ -5,6 +5,7 @@
 //
 //	hbpbench -list
 //	hbpbench -exp EXP06
+//	hbpbench -quick -exp EXP13        # real-hardware padded-vs-compact sweep
 //	hbpbench -quick -parallel 8 -json
 //	hbpbench -quick -repeats 3 -csv
 //	hbpbench -quick -out runs

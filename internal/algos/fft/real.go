@@ -1,0 +1,72 @@
+package fft
+
+// Real-hardware driver: a recursive decimation-in-time FFT over complex128
+// on the internal/rt runtime.  The two half-size transforms recurse as
+// parallel tasks into disjoint halves of the destination (limited access:
+// each slot of dst is written once per level), and the butterfly combine is
+// a parallel loop.  Twiddles are computed on the fly; below RealFFTLeaf the
+// recursion runs serially to keep leaves cache-resident.
+
+import (
+	"math"
+
+	"repro/internal/rt"
+)
+
+// RealFFTLeaf is the transform size at or below which recursion is serial.
+const RealFFTLeaf = 256
+
+// RealForward computes the in-place forward DFT of data on the calling
+// pool.  len(data) must be a power of two.
+func RealForward(c *rt.Ctx, data []complex128) {
+	n := len(data)
+	if n&(n-1) != 0 {
+		panic("fft: RealForward requires a power-of-two length")
+	}
+	if n <= 1 {
+		return
+	}
+	src := make([]complex128, n)
+	copy(src, data)
+	realRec(c, data, src, 1)
+}
+
+// realRec writes into dst the DFT of the len(dst) elements
+// src[0], src[stride], src[2·stride], …
+func realRec(c *rt.Ctx, dst, src []complex128, stride int) {
+	n := len(dst)
+	if n <= RealFFTLeaf {
+		serialRec(dst, src, stride)
+		return
+	}
+	h := n / 2
+	c.Parallel(
+		func(c *rt.Ctx) { realRec(c, dst[:h], src, 2*stride) },
+		func(c *rt.Ctx) { realRec(c, dst[h:], src[stride:], 2*stride) },
+	)
+	ang := -2 * math.Pi / float64(n)
+	c.For(0, h, 512, func(k int) {
+		w := complex(math.Cos(ang*float64(k)), math.Sin(ang*float64(k)))
+		t := w * dst[h+k]
+		e := dst[k]
+		dst[k], dst[h+k] = e+t, e-t
+	})
+}
+
+func serialRec(dst, src []complex128, stride int) {
+	n := len(dst)
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	h := n / 2
+	serialRec(dst[:h], src, 2*stride)
+	serialRec(dst[h:], src[stride:], 2*stride)
+	ang := -2 * math.Pi / float64(n)
+	for k := 0; k < h; k++ {
+		w := complex(math.Cos(ang*float64(k)), math.Sin(ang*float64(k)))
+		t := w * dst[h+k]
+		e := dst[k]
+		dst[k], dst[h+k] = e+t, e-t
+	}
+}

@@ -1,0 +1,71 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/rt"
+)
+
+func naiveDFT(in []complex128) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += in[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func testSignal(n int, seed uint64) []complex128 {
+	d := make([]complex128, n)
+	s := seed*2654435761 + 1
+	for i := range d {
+		s = s*6364136223846793005 + 1442695040888963407
+		re := float64(s>>40)/float64(1<<24) - 0.5
+		s = s*6364136223846793005 + 1442695040888963407
+		im := float64(s>>40)/float64(1<<24) - 0.5
+		d[i] = complex(re, im)
+	}
+	return d
+}
+
+func TestRealForwardMatchesNaiveDFT(t *testing.T) {
+	const n = 1024 // above RealFFTLeaf, so the parallel path runs
+	in := testSignal(n, 5)
+	want := naiveDFT(in)
+	for _, layout := range []rt.Layout{rt.LayoutPadded, rt.LayoutCompact} {
+		for _, p := range []int{1, 4} {
+			data := make([]complex128, n)
+			copy(data, in)
+			pool := rt.NewPoolLayout(p, rt.Random, layout)
+			pool.Run(func(c *rt.Ctx) { RealForward(c, data) })
+			for k := range want {
+				if cmplx.Abs(data[k]-want[k]) > 1e-8*float64(n) {
+					t.Fatalf("layout=%v p=%d: X[%d] = %v, want %v", layout, p, k, data[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestRealForwardLeafSizes(t *testing.T) {
+	pool := rt.NewPool(2, rt.Priority)
+	for _, n := range []int{1, 2, 8, RealFFTLeaf} {
+		in := testSignal(n, uint64(n))
+		want := naiveDFT(in)
+		data := make([]complex128, n)
+		copy(data, in)
+		pool.Run(func(c *rt.Ctx) { RealForward(c, data) })
+		for k := range want {
+			if cmplx.Abs(data[k]-want[k]) > 1e-9*float64(n+1) {
+				t.Fatalf("n=%d: X[%d] = %v, want %v", n, k, data[k], want[k])
+			}
+		}
+	}
+}

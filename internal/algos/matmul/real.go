@@ -1,0 +1,62 @@
+package matmul
+
+// Real-hardware driver: the same cache-oblivious Depth-n-MM recursion the
+// simulator analyzes, but over row-major float64 matrices on the internal/rt
+// work-stealing runtime with genuine parallelism.  The two k-halves run
+// sequentially (both accumulate into the same output quadrants — the
+// limited-access discipline of the simulated variant translates into "no
+// concurrent writers per output block"), while the four output quadrants of
+// each half run as parallel tasks.
+
+import "repro/internal/rt"
+
+// RealCutoff is the leaf side length of the real kernel: below it the
+// product is a plain register-blocked triple loop.
+const RealCutoff = 32
+
+// RealMul computes out += a·b for n×n row-major matrices on the calling
+// pool.  n must be a power of two; out is typically zeroed by the caller.
+func RealMul(c *rt.Ctx, a, b, out []float64, n int) {
+	if n&(n-1) != 0 {
+		panic("matmul: RealMul requires a power-of-two side")
+	}
+	mulRM(c, a, b, out, 0, 0, 0, 0, 0, 0, n, n)
+}
+
+// mulRM multiplies the m×m blocks of a and b with top-left corners
+// (ai,aj) and (bi,bj), accumulating into out's block at (oi,oj); all three
+// matrices are row-major with row stride n.
+func mulRM(c *rt.Ctx, a, b, out []float64, ai, aj, bi, bj, oi, oj, m, n int) {
+	if m <= RealCutoff {
+		for i := 0; i < m; i++ {
+			orow := out[(oi+i)*n+oj : (oi+i)*n+oj+m]
+			for k := 0; k < m; k++ {
+				av := a[(ai+i)*n+aj+k]
+				brow := b[(bi+k)*n+bj : (bi+k)*n+bj+m]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return
+	}
+	h := m / 2
+	// Sequential over the two k-halves, parallel over output quadrants.
+	for kk := 0; kk < 2; kk++ {
+		ak, bk := aj+kk*h, bi+kk*h
+		c.Parallel(
+			func(c *rt.Ctx) {
+				c.Parallel(
+					func(c *rt.Ctx) { mulRM(c, a, b, out, ai, ak, bk, bj, oi, oj, h, n) },
+					func(c *rt.Ctx) { mulRM(c, a, b, out, ai, ak, bk, bj+h, oi, oj+h, h, n) },
+				)
+			},
+			func(c *rt.Ctx) {
+				c.Parallel(
+					func(c *rt.Ctx) { mulRM(c, a, b, out, ai+h, ak, bk, bj, oi+h, oj, h, n) },
+					func(c *rt.Ctx) { mulRM(c, a, b, out, ai+h, ak, bk, bj+h, oi+h, oj+h, h, n) },
+				)
+			},
+		)
+	}
+}

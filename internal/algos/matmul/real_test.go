@@ -1,0 +1,64 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rt"
+)
+
+func naiveMul(a, b []float64, n int) []float64 {
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a[i*n+k]
+			for j := 0; j < n; j++ {
+				out[i*n+j] += av * b[k*n+j]
+			}
+		}
+	}
+	return out
+}
+
+func testMatrix(n int, seed int64) []float64 {
+	m := make([]float64, n*n)
+	s := uint64(seed)*2654435761 + 1
+	for i := range m {
+		s = s*6364136223846793005 + 1442695040888963407
+		m[i] = float64(s>>40) / float64(1<<24)
+	}
+	return m
+}
+
+func TestRealMulMatchesNaive(t *testing.T) {
+	const n = 128
+	a, b := testMatrix(n, 1), testMatrix(n, 2)
+	want := naiveMul(a, b, n)
+	for _, layout := range []rt.Layout{rt.LayoutPadded, rt.LayoutCompact} {
+		for _, p := range []int{1, 4} {
+			out := make([]float64, n*n)
+			pool := rt.NewPoolLayout(p, rt.Random, layout)
+			pool.Run(func(c *rt.Ctx) { RealMul(c, a, b, out, n) })
+			for i := range want {
+				if math.Abs(out[i]-want[i]) > 1e-9*float64(n) {
+					t.Fatalf("layout=%v p=%d: out[%d] = %g, want %g", layout, p, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRealMulLeafSize(t *testing.T) {
+	// A leaf-sized product must not recurse (and must still be right).
+	const n = RealCutoff
+	a, b := testMatrix(n, 3), testMatrix(n, 4)
+	want := naiveMul(a, b, n)
+	out := make([]float64, n*n)
+	pool := rt.NewPool(2, rt.Priority)
+	pool.Run(func(c *rt.Ctx) { RealMul(c, a, b, out, n) })
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-9*float64(n) {
+			t.Fatalf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}

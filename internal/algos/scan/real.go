@@ -1,0 +1,55 @@
+package scan
+
+// Real-hardware driver: inclusive prefix sums on the internal/rt runtime.
+// The classical three-phase block algorithm — a parallel up-sweep of block
+// sums, a serial exclusive scan over the (few) block sums, and a parallel
+// down-sweep that rescans each block with its offset.  Each worker-visible
+// write lands in a block-contiguous range, the layout discipline the
+// paper's Type-1 analysis assumes.
+
+import "repro/internal/rt"
+
+// RealPrefixGrain is the default block length of the real kernel.
+const RealPrefixGrain = 4096
+
+// RealPrefix computes out[i] = in[0] + … + in[i] in parallel on the calling
+// pool.  in and out may alias.  grain ≤ 0 selects RealPrefixGrain.
+func RealPrefix(c *rt.Ctx, in, out []int64, grain int) {
+	n := len(in)
+	if len(out) != n {
+		panic("scan: RealPrefix length mismatch")
+	}
+	if grain <= 0 {
+		grain = RealPrefixGrain
+	}
+	nb := (n + grain - 1) / grain
+	if nb <= 1 {
+		prefixSerial(in, out, 0)
+		return
+	}
+	sums := make([]int64, nb)
+	c.For(0, nb, 1, func(bi int) {
+		lo, hi := bi*grain, min((bi+1)*grain, n)
+		var s int64
+		for _, v := range in[lo:hi] {
+			s += v
+		}
+		sums[bi] = s
+	})
+	var acc int64
+	for bi, s := range sums {
+		sums[bi], acc = acc, acc+s
+	}
+	c.For(0, nb, 1, func(bi int) {
+		lo, hi := bi*grain, min((bi+1)*grain, n)
+		prefixSerial(in[lo:hi], out[lo:hi], sums[bi])
+	})
+}
+
+func prefixSerial(in, out []int64, offset int64) {
+	s := offset
+	for i, v := range in {
+		s += v
+		out[i] = s
+	}
+}

@@ -1,0 +1,59 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/rt"
+)
+
+func testVals(n int, seed uint64) []int64 {
+	d := make([]int64, n)
+	s := seed*2654435761 + 1
+	for i := range d {
+		s = s*6364136223846793005 + 1442695040888963407
+		d[i] = int64(s>>33)%1000 - 500
+	}
+	return d
+}
+
+func TestRealPrefixMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, RealPrefixGrain - 1, RealPrefixGrain, 10*RealPrefixGrain + 17} {
+		in := testVals(n, uint64(n)+1)
+		want := make([]int64, n)
+		var s int64
+		for i, v := range in {
+			s += v
+			want[i] = s
+		}
+		for _, layout := range []rt.Layout{rt.LayoutPadded, rt.LayoutCompact} {
+			for _, p := range []int{1, 4} {
+				out := make([]int64, n)
+				pool := rt.NewPoolLayout(p, rt.Random, layout)
+				pool.Run(func(c *rt.Ctx) { RealPrefix(c, in, out, 0) })
+				for i := range want {
+					if out[i] != want[i] {
+						t.Fatalf("n=%d layout=%v p=%d: out[%d] = %d, want %d", n, layout, p, i, out[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRealPrefixInPlace(t *testing.T) {
+	const n = 3*RealPrefixGrain + 5
+	in := testVals(n, 42)
+	want := make([]int64, n)
+	var s int64
+	for i, v := range in {
+		s += v
+		want[i] = s
+	}
+	pool := rt.NewPool(4, rt.Priority)
+	pool.Run(func(c *rt.Ctx) { RealPrefix(c, in, in, 128) })
+	for i := range want {
+		if in[i] != want[i] {
+			t.Fatalf("in-place: out[%d] = %d, want %d", i, in[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package sortx
+
+// Real-hardware driver: parallel merge sort over int64 keys on the
+// internal/rt runtime, mirroring the package's simulated Type-2 HBP merge
+// sort.  Recursive halves sort into ping-ponged buffers (every address
+// written once per buffer — the limited-access discipline) and are merged
+// by merge-path splitting: the larger run is cut at its median and the
+// cut's rank in the other run is found by binary search, yielding two
+// independent merges that recurse in parallel.
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/rt"
+)
+
+// realSortCutoff is the run length at or below which a leaf sorts serially.
+const realSortCutoff = 2048
+
+// realMergeCutoff is the combined length at or below which merges are serial.
+const realMergeCutoff = 4096
+
+// RealSort sorts data ascending in parallel on the calling pool.
+func RealSort(c *rt.Ctx, data []int64) {
+	if len(data) <= realSortCutoff {
+		slices.Sort(data)
+		return
+	}
+	buf := make([]int64, len(data))
+	realSortRec(c, data, buf, false)
+}
+
+// realSortRec sorts src; the sorted output lands in buf when toBuf is set
+// and in src otherwise.  Children produce their halves in the opposite
+// array, which the final merge then ping-pongs back.
+func realSortRec(c *rt.Ctx, src, buf []int64, toBuf bool) {
+	n := len(src)
+	if n <= realSortCutoff {
+		slices.Sort(src)
+		if toBuf {
+			copy(buf, src)
+		}
+		return
+	}
+	mid := n / 2
+	c.Parallel(
+		func(c *rt.Ctx) { realSortRec(c, src[:mid], buf[:mid], !toBuf) },
+		func(c *rt.Ctx) { realSortRec(c, src[mid:], buf[mid:], !toBuf) },
+	)
+	if toBuf {
+		realMerge(c, src[:mid], src[mid:], buf)
+	} else {
+		realMerge(c, buf[:mid], buf[mid:], src)
+	}
+}
+
+// realMerge merges sorted runs a and b into out by parallel merge-path
+// splitting.
+func realMerge(c *rt.Ctx, a, b, out []int64) {
+	if len(a)+len(b) <= realMergeCutoff {
+		mergeSerial(a, b, out)
+		return
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	i := len(a) / 2
+	j := sort.Search(len(b), func(k int) bool { return b[k] >= a[i] })
+	c.Parallel(
+		func(c *rt.Ctx) { realMerge(c, a[:i], b[:j], out[:i+j]) },
+		func(c *rt.Ctx) { realMerge(c, a[i:], b[j:], out[i+j:]) },
+	)
+}
+
+func mergeSerial(a, b, out []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}

@@ -1,0 +1,52 @@
+package sortx
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/rt"
+)
+
+func testKeys(n int, seed uint64) []int64 {
+	d := make([]int64, n)
+	s := seed*2654435761 + 1
+	for i := range d {
+		s = s*6364136223846793005 + 1442695040888963407
+		d[i] = int64(s >> 33)
+	}
+	return d
+}
+
+func TestRealSortMatchesSerial(t *testing.T) {
+	// Big enough for several merge-path splits; odd length exercises the
+	// uneven halves.
+	const n = 100001
+	for _, layout := range []rt.Layout{rt.LayoutPadded, rt.LayoutCompact} {
+		for _, p := range []int{1, 4} {
+			data := testKeys(n, 7)
+			want := slices.Clone(data)
+			slices.Sort(want)
+			pool := rt.NewPoolLayout(p, rt.Random, layout)
+			pool.Run(func(c *rt.Ctx) { RealSort(c, data) })
+			if !slices.Equal(data, want) {
+				t.Fatalf("layout=%v p=%d: parallel sort differs from serial sort", layout, p)
+			}
+		}
+	}
+}
+
+func TestRealSortSmallAndDuplicates(t *testing.T) {
+	pool := rt.NewPool(4, rt.Priority)
+	for _, n := range []int{0, 1, 2, realSortCutoff, realSortCutoff + 1, 3 * realSortCutoff} {
+		data := testKeys(n, uint64(n))
+		for i := range data {
+			data[i] %= 16 // heavy duplication stresses the merge-path split
+		}
+		want := slices.Clone(data)
+		slices.Sort(want)
+		pool.Run(func(c *rt.Ctx) { RealSort(c, data) })
+		if !slices.Equal(data, want) {
+			t.Fatalf("n=%d: sorted output wrong", n)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package strassen
+
+// Real-hardware driver: Strassen's recursion over row-major float64
+// matrices on the internal/rt runtime.  As in the simulated variant, the
+// seven recursive products are written into fresh subarrays (limited
+// access) and run as parallel tasks; the quadrant extraction, the S-sums
+// and the final combine are serial O(n²) passes dominated by the O(n^2.81)
+// recursive work.
+
+import "repro/internal/rt"
+
+// RealCutoff is the side length at or below which the real kernel falls
+// back to the classical triple loop.
+const RealCutoff = 64
+
+// RealMul computes out = a·b for n×n row-major matrices (n a power of two)
+// on the calling pool.
+func RealMul(c *rt.Ctx, a, b, out []float64, n int) {
+	if n&(n-1) != 0 {
+		panic("strassen: RealMul requires a power-of-two side")
+	}
+	copy(out, realMulRec(c, a, b, n))
+}
+
+func realMulRec(c *rt.Ctx, a, b []float64, n int) []float64 {
+	if n <= RealCutoff {
+		return mulClassical(a, b, n)
+	}
+	h := n / 2
+	a11, a12, a21, a22 := quadrants(a, n)
+	b11, b12, b21, b22 := quadrants(b, n)
+
+	// The seven Strassen operand pairs.
+	ops := [7][2][]float64{
+		{addM(a11, a22), addM(b11, b22)}, // p0 = (a11+a22)(b11+b22)
+		{addM(a21, a22), b11},            // p1 = (a21+a22)·b11
+		{a11, subM(b12, b22)},            // p2 = a11·(b12−b22)
+		{a22, subM(b21, b11)},            // p3 = a22·(b21−b11)
+		{addM(a11, a12), b22},            // p4 = (a11+a12)·b22
+		{subM(a21, a11), addM(b11, b12)}, // p5 = (a21−a11)(b11+b12)
+		{subM(a12, a22), addM(b21, b22)}, // p6 = (a12−a22)(b21+b22)
+	}
+	var p [7][]float64
+	var hs [6]rt.Handle
+	for i := 1; i < 7; i++ {
+		i := i
+		hs[i-1] = c.Fork(func(c *rt.Ctx) { p[i] = realMulRec(c, ops[i][0], ops[i][1], h) })
+	}
+	p[0] = realMulRec(c, ops[0][0], ops[0][1], h)
+	for _, hd := range hs {
+		c.Join(hd)
+	}
+
+	out := make([]float64, n*n)
+	writeQuadrant(out, n, 0, 0, combine4(p[0], p[3], p[4], p[6])) // c11 = p0+p3−p4+p6
+	writeQuadrant(out, n, 0, h, addM(p[2], p[4]))                 // c12 = p2+p4
+	writeQuadrant(out, n, h, 0, addM(p[1], p[3]))                 // c21 = p1+p3
+	writeQuadrant(out, n, h, h, combine4(p[0], p[2], p[1], p[5])) // c22 = p0+p2−p1+p5
+	return out
+}
+
+// quadrants copies the four h×h quadrants of an n×n row-major matrix into
+// fresh contiguous matrices.
+func quadrants(m []float64, n int) (q11, q12, q21, q22 []float64) {
+	h := n / 2
+	q11, q12 = make([]float64, h*h), make([]float64, h*h)
+	q21, q22 = make([]float64, h*h), make([]float64, h*h)
+	for i := 0; i < h; i++ {
+		copy(q11[i*h:(i+1)*h], m[i*n:i*n+h])
+		copy(q12[i*h:(i+1)*h], m[i*n+h:i*n+n])
+		copy(q21[i*h:(i+1)*h], m[(i+h)*n:(i+h)*n+h])
+		copy(q22[i*h:(i+1)*h], m[(i+h)*n+h:(i+h)*n+n])
+	}
+	return
+}
+
+func writeQuadrant(out []float64, n, ri, ci int, q []float64) {
+	h := n / 2
+	for i := 0; i < h; i++ {
+		copy(out[(ri+i)*n+ci:(ri+i)*n+ci+h], q[i*h:(i+1)*h])
+	}
+}
+
+func addM(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+func subM(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// combine4 returns w+x−y+z elementwise.
+func combine4(w, x, y, z []float64) []float64 {
+	out := make([]float64, len(w))
+	for i := range w {
+		out[i] = w[i] + x[i] - y[i] + z[i]
+	}
+	return out
+}
+
+func mulClassical(a, b []float64, n int) []float64 {
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		orow := out[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			av := a[i*n+k]
+			brow := b[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}

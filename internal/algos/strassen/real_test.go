@@ -1,0 +1,62 @@
+package strassen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rt"
+)
+
+func naiveMulF(a, b []float64, n int) []float64 {
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a[i*n+k]
+			for j := 0; j < n; j++ {
+				out[i*n+j] += av * b[k*n+j]
+			}
+		}
+	}
+	return out
+}
+
+func testMatrixF(n int, seed uint64) []float64 {
+	m := make([]float64, n*n)
+	s := seed*2654435761 + 1
+	for i := range m {
+		s = s*6364136223846793005 + 1442695040888963407
+		m[i] = float64(s>>40)/float64(1<<24) - 0.5
+	}
+	return m
+}
+
+func TestRealMulMatchesNaive(t *testing.T) {
+	const n = 128 // one Strassen level above RealCutoff
+	a, b := testMatrixF(n, 1), testMatrixF(n, 2)
+	want := naiveMulF(a, b, n)
+	for _, p := range []int{1, 4} {
+		out := make([]float64, n*n)
+		pool := rt.NewPool(p, rt.Random)
+		pool.Run(func(c *rt.Ctx) { RealMul(c, a, b, out, n) })
+		for i := range want {
+			// Strassen's extra additions cost a few ulps over the naive sum.
+			if math.Abs(out[i]-want[i]) > 1e-8*float64(n) {
+				t.Fatalf("p=%d: out[%d] = %g, want %g", p, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRealMulTwoLevels(t *testing.T) {
+	const n = 4 * RealCutoff // two recursion levels, all seven forks live
+	a, b := testMatrixF(n, 3), testMatrixF(n, 4)
+	want := naiveMulF(a, b, n)
+	out := make([]float64, n*n)
+	pool := rt.NewPoolLayout(8, rt.Priority, rt.LayoutCompact)
+	pool.Run(func(c *rt.Ctx) { RealMul(c, a, b, out, n) })
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-7*float64(n) {
+			t.Fatalf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}

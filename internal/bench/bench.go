@@ -408,6 +408,7 @@ func Experiments() []Experiment {
 		{"EXP10", "Thm 4.1: list ranking bounds and gapping cutoff", exp10Cells, nil, exp10Render},
 		{"EXP11", "CC: log n × LR cost shape", exp11Cells, nil, exp11Render},
 		{"EXP12", "Goroutine runtime speedup (real parallelism)", exp12Cells, exp12Finish, exp12Render},
+		{"EXP13", "False-sharing layout sweep: padded vs compact runtime state", exp13Cells, exp13Finish, exp13Render},
 	}
 }
 

@@ -40,8 +40,8 @@ func TestFindAlgo(t *testing.T) {
 
 func TestExperimentsRegistered(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("%d experiments registered, want 12", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("%d experiments registered, want 13", len(exps))
 	}
 	for i, e := range exps {
 		if e.Cells == nil || e.Render == nil {

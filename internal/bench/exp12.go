@@ -52,11 +52,9 @@ func exp12Cells(p Params) []harness.Cell {
 						r := harness.Row{
 							Exp: "EXP12", Algo: "reduce", N: int64(n), P: pr,
 							Sched: name, Repeat: rep, Seed: seed,
-							Steals: pool.Steals(), WallNS: el.Nanoseconds(),
-							Volatile: true, Note: "ok",
-						}
-						if got != want {
-							r.Note = "WRONG RESULT"
+							Steals: pool.Steals(), StealAttempts: pool.StealAttempts(),
+							WallNS:   el.Nanoseconds(),
+							Volatile: true, Aux3: numCPU(), Note: statusNote(got == want),
 						}
 						return []harness.Row{r}
 					},
@@ -81,7 +79,7 @@ func exp12Finish(rows []harness.Row) []harness.Row {
 
 func exp12Render(w io.Writer, rows []harness.Row) {
 	header(w, "EXP12 — goroutine runtime wall-clock speedup")
-	t := harness.NewTable(w, "workload", "p", "policy", "time", "speedup", "steals", "status")
+	t := harness.NewTable(w, "workload", "p", "policy", "time", "speedup", "steals", "cpus", "status")
 	for _, r := range rows {
 		status := ""
 		if r.Note != "ok" {
@@ -89,7 +87,7 @@ func exp12Render(w io.Writer, rows []harness.Row) {
 		}
 		t.Line(r.Algo, harness.F(r.P), r.Sched,
 			time.Duration(r.WallNS).Round(time.Microsecond).String(),
-			harness.F(r.Aux1), harness.F(r.Steals), status)
+			harness.F(r.Aux1), harness.F(r.Steals), harness.F(int64(r.Aux3)), status)
 	}
 	t.Flush()
 }

@@ -1,12 +1,40 @@
 // Package rt is a real-parallelism companion to the simulator: a
-// goroutine-based fork-join work-stealing runtime with per-worker deques
-// (owner pushes and pops at the bottom, thieves steal from the top — the
-// orientation of Section 2) and a choice of victim policy: random (RWS) or
-// priority (steal the shallowest advertised task, the PWS-flavoured rule).
+// goroutine-based fork-join work-stealing runtime whose own data layout
+// follows the paper's false-sharing discipline.
+//
+// Each worker owns a Chase–Lev lock-free deque (deque.go): the owner pushes
+// and pops at the bottom with plain atomic stores, thieves CAS the top — the
+// steal orientation of Section 2, with no mutex anywhere on the task path.
+// The victim rule is pluggable: Random (RWS) resamples uniformly among the
+// other p−1 workers, Priority (the PWS-flavoured rule) scans all deque heads
+// and steals the shallowest advertised task, retrying remaining victims if
+// the chosen one is emptied concurrently.
+//
+// All hot mutable per-worker state — the deque's top and bottom indices and
+// the sharded steal/attempt/executed counters — lives in one pool-owned
+// block whose layout is selected at construction: LayoutPadded aligns every
+// worker's cells to 64-byte cache-line boundaries (top and bottom each get a
+// private line, mirroring the paper's block-size-B padding of §4.7), while
+// LayoutCompact packs all workers' cells adjacently so that independent
+// writes share lines.  Task frames are likewise slab-allocated either
+// line-disjoint (a two-line stride each) or packed.  The compact layout
+// exists only as the "unpadded"
+// ablation arm of EXP13, which demonstrates the paper's false-sharing
+// penalty on real hardware; NewPool always uses LayoutPadded.
+//
+// Nobody busy-waits.  An idle worker (or a joiner whose fork is still in
+// flight) spins briefly, then parks on a condition-variable eventcount: it
+// snapshots the pool's wake sequence, announces itself in an idler count,
+// re-checks every work source, and only then sleeps.  Producers bump the
+// sequence and broadcast after pushing a task or completing one — but only
+// when the idler count is nonzero, so the fork/join fast path costs one
+// atomic load.  Pool.Run parks the caller on a channel closed by the root
+// task instead of spinning, so a pool as wide as the machine no longer
+// competes with its own workers for cores.
 //
 // The simulator in internal/core measures the paper's cache and block-miss
 // quantities; this package demonstrates the same computations running with
-// genuine parallelism and feeds the wall-clock speedup experiment (EXP12).
+// genuine parallelism and feeds the wall-clock experiments (EXP12, EXP13).
 package rt
 
 import (
@@ -14,41 +42,187 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
+	"unsafe"
 )
 
 // Policy selects the victim rule for steals.
 type Policy int
 
 const (
-	// Random picks victims uniformly at random (RWS).
+	// Random picks victims uniformly at random among the other workers (RWS).
 	Random Policy = iota
 	// Priority scans all deques and steals the task with the smallest
 	// depth (largest size), the PWS-flavoured rule.
 	Priority
 )
 
+// Layout selects how the pool lays out hot per-worker state and task frames.
+type Layout int
+
+const (
+	// LayoutPadded aligns every worker's hot state to private cache lines
+	// and gives every task frame its own line.  The default.
+	LayoutPadded Layout = iota
+	// LayoutCompact packs all workers' hot state and task frames densely so
+	// independent writes share cache lines — the "unpadded" arm of the
+	// false-sharing ablation (EXP13).  Functionally identical, slower under
+	// real concurrent writes.
+	LayoutCompact
+)
+
+func (l Layout) String() string {
+	if l == LayoutCompact {
+		return "compact"
+	}
+	return "padded"
+}
+
+// cacheLine is the coherence granularity the padded layout targets — the
+// real-hardware analogue of the paper's block size B.
+const cacheLine = 64
+
+const wordsPerLine = cacheLine / 8
+
+// Per-worker cells in the pool's shared state block, in block order.
+const (
+	cellTop = iota
+	cellBottom
+	cellSteals
+	cellAttempts
+	cellExecuted
+	numCells
+)
+
+// cells is one worker's view into the state block.
+type cells struct {
+	top, bottom, steals, attempts, executed *atomic.Int64
+}
+
+// newState allocates the pool-wide worker-state block and carves one cells
+// view per worker.  The base is always rotated to a cache-line boundary so
+// the layout (padded: three private lines per worker; compact: numCells
+// adjacent words per worker) is deterministic rather than at the mercy of
+// the allocator.  Rebasing is GC-safe here precisely because atomic.Int64
+// holds no pointers; task slabs cannot play this trick (see paddedTask).
+func newState(p int, layout Layout) ([]atomic.Int64, []cells) {
+	stride := numCells
+	offs := [numCells]int{cellTop, cellBottom, cellSteals, cellAttempts, cellExecuted}
+	if layout == LayoutPadded {
+		// Line 0: top (thief-CASed).  Line 1: bottom (owner-stored).
+		// Line 2: the owner-written counters.
+		stride = 3 * wordsPerLine
+		offs = [numCells]int{0, wordsPerLine, 2 * wordsPerLine, 2*wordsPerLine + 1, 2*wordsPerLine + 2}
+	}
+	buf := make([]atomic.Int64, p*stride+wordsPerLine)
+	base := 0
+	for uintptr(unsafe.Pointer(&buf[base]))%cacheLine != 0 {
+		base++
+	}
+	cs := make([]cells, p)
+	for i := range cs {
+		blk := buf[base+i*stride:]
+		cs[i] = cells{
+			top:      &blk[offs[cellTop]],
+			bottom:   &blk[offs[cellBottom]],
+			steals:   &blk[offs[cellSteals]],
+			attempts: &blk[offs[cellAttempts]],
+			executed: &blk[offs[cellExecuted]],
+		}
+	}
+	return buf, cs
+}
+
+// task is one forked frame: the body, its fork depth, and the done flag the
+// joiner and thieves synchronize on.
+type task struct {
+	fn    func(*Ctx)
+	depth int32
+	done  atomic.Uint32
+}
+
+func (t *task) isDone() bool { return t.done.Load() != 0 }
+
+// taskFootprint mirrors task field-for-field (every func value is one
+// pointer) without referencing Ctx, so taskSize can be a constant without
+// creating a type cycle task → Ctx → worker → arena → paddedTask → task.
+// TestTaskFramePadding asserts the two sizes agree.
+type taskFootprint struct {
+	fn    func()
+	depth int32
+	done  atomic.Uint32
+}
+
+// taskSize is the unpadded task frame footprint.
+const taskSize = unsafe.Sizeof(taskFootprint{})
+
+// paddedTask strides a task frame across two full cache lines so the done
+// flag a thief writes never shares a line with a sibling frame the owner is
+// polling.  Two lines rather than one because Go guarantees only 8-byte
+// alignment for a slab's base and the GC's pointer bitmap forbids rebasing
+// typed memory that holds pointers (fn is one): with a 2-line stride,
+// consecutive frames are line-disjoint wherever the base lands, and the
+// spare line also defeats adjacent-line prefetching.
+type paddedTask struct {
+	task
+	_ [2*cacheLine - taskSize%cacheLine]byte
+}
+
+// arenaSlab is how many task frames one slab holds.
+const arenaSlab = 256
+
+// taskArena slab-allocates task frames with layout-controlled stride.
+// Owner-only; slots are used exactly once (slabs are replaced, never
+// rewound, so a stale pointer read by a slow thief stays frozen forever).
+type taskArena struct {
+	padded bool
+	slabP  []paddedTask
+	slabC  []task
+	used   int
+}
+
+func (a *taskArena) alloc(fn func(*Ctx), depth int32) *task {
+	var t *task
+	if a.padded {
+		if a.used >= len(a.slabP) {
+			a.slabP, a.used = make([]paddedTask, arenaSlab), 0
+		}
+		t = &a.slabP[a.used].task
+	} else {
+		if a.used >= len(a.slabC) {
+			a.slabC, a.used = make([]task, arenaSlab), 0
+		}
+		t = &a.slabC[a.used]
+	}
+	a.used++
+	t.fn, t.depth = fn, depth
+	return t
+}
+
 // Pool is a fixed-size work-stealing pool.
 type Pool struct {
 	workers []*worker
 	policy  Policy
+	layout  Layout
 	stop    atomic.Bool
 	wg      sync.WaitGroup
-	steals  atomic.Int64
-}
 
-type task struct {
-	fn    func(*Ctx)
-	depth int
-	done  atomic.Bool
+	state []atomic.Int64 // keeps the worker-state block alive
+
+	// Eventcount for parking: idlers counts workers that announced
+	// idleness; seq is bumped (under mu) on every wake-worthy event.
+	idlers atomic.Int32
+	seq    atomic.Uint64
+	mu     sync.Mutex
+	cond   *sync.Cond
 }
 
 type worker struct {
-	id   int
-	pool *Pool
-	mu   sync.Mutex
-	dq   []*task // bottom = end; thieves take from front
-	rng  *rand.Rand
+	id    int
+	pool  *Pool
+	st    cells
+	dq    deque
+	rng   *rand.Rand // owner-only: victim sampling for the Random policy
+	arena taskArena  // owner-only: task frames this worker forks
 }
 
 // Ctx is passed to every task body; it identifies the executing worker.
@@ -60,151 +234,248 @@ type Ctx struct {
 // Handle joins a forked task.
 type Handle struct{ t *task }
 
-// NewPool creates a pool of p workers.  Pass 0 for GOMAXPROCS.
+// NewPool creates a pool of p workers with the padded (false-sharing-aware)
+// layout.  Pass 0 for GOMAXPROCS.
 func NewPool(p int, policy Policy) *Pool {
+	return NewPoolLayout(p, policy, LayoutPadded)
+}
+
+// NewPoolLayout creates a pool with an explicit state/task layout.  Use
+// LayoutCompact only to measure the false-sharing penalty it exists to
+// demonstrate.
+func NewPoolLayout(p int, policy Policy, layout Layout) *Pool {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	pool := &Pool{policy: policy}
+	pool := &Pool{policy: policy, layout: layout}
+	pool.cond = sync.NewCond(&pool.mu)
+	var blocks []cells
+	pool.state, blocks = newState(p, layout)
 	for i := 0; i < p; i++ {
-		pool.workers = append(pool.workers, &worker{
+		w := &worker{
 			id:   i,
 			pool: pool,
+			st:   blocks[i],
 			rng:  rand.New(rand.NewSource(int64(i)*7919 + 17)),
-		})
+		}
+		w.arena.padded = layout == LayoutPadded
+		w.dq.init(w.st.top, w.st.bottom)
+		pool.workers = append(pool.workers, w)
 	}
 	return pool
 }
 
-// Steals reports the number of successful steals so far.
-func (p *Pool) Steals() int64 { return p.steals.Load() }
+// Layout reports the pool's state/task layout.
+func (p *Pool) Layout() Layout { return p.layout }
 
-// backoff paces a spinning waiter: yield for the first rounds, then sleep
-// briefly.  Without it, idle workers busy-wait and starve the workers that
-// actually hold tasks when cores are scarce (the harness runs pools wider
-// than the machine).
-type backoff int
+// Steals reports successful steals so far, summed over the per-worker
+// sharded counters (each thief increments only its own cache line).
+func (p *Pool) Steals() int64 { return p.sum(func(c cells) *atomic.Int64 { return c.steals }) }
 
-func (b *backoff) pause() {
-	*b++
-	if *b < 64 {
-		runtime.Gosched()
-		return
-	}
-	time.Sleep(20 * time.Microsecond)
+// StealAttempts reports victim probes, successful or not.
+func (p *Pool) StealAttempts() int64 {
+	return p.sum(func(c cells) *atomic.Int64 { return c.attempts })
 }
 
-func (b *backoff) reset() { *b = 0 }
+// Executed reports tasks run to completion (including each Run's root),
+// accumulated across Runs.
+func (p *Pool) Executed() int64 { return p.sum(func(c cells) *atomic.Int64 { return c.executed }) }
+
+func (p *Pool) sum(f func(cells) *atomic.Int64) int64 {
+	var s int64
+	for _, w := range p.workers {
+		s += f(w.st).Load()
+	}
+	return s
+}
+
+func (p *Pool) stopRequested() bool { return p.stop.Load() }
+
+// wake publishes a work/completion event to parked workers.  The fast path
+// is a single atomic load: the sequence bump and broadcast happen only when
+// somebody announced idleness.
+func (p *Pool) wake() {
+	if p.idlers.Load() == 0 {
+		return
+	}
+	p.wakeAll()
+}
+
+// wakeAll unconditionally bumps the event sequence and wakes every parked
+// worker (used by wake and by Run's shutdown).
+func (p *Pool) wakeAll() {
+	p.mu.Lock()
+	p.seq.Add(1)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
 
 // Run executes root to completion on the pool, then shuts the workers down.
+// The calling goroutine parks on a channel the root task closes — it never
+// spins, so running a pool as wide as the machine does not starve workers.
 func (p *Pool) Run(root func(*Ctx)) {
-	t := &task{fn: root}
-	p.workers[0].push(t)
+	rootDone := make(chan struct{})
 	p.stop.Store(false)
+	w0 := p.workers[0]
+	w0.dq.push(w0.arena.alloc(func(c *Ctx) {
+		root(c)
+		close(rootDone)
+	}, 0))
 	for _, w := range p.workers {
 		p.wg.Add(1)
 		go w.loop()
 	}
-	// Worker 0's loop executes the root; when the root task completes the
-	// pool is told to stop.  The root fn must join all its forks before
-	// returning, so no work outlives it.
-	var idle backoff
-	for !t.done.Load() {
-		idle.pause()
-	}
+	// The root fn must join all its forks before returning, so no work
+	// outlives it.
+	<-rootDone
 	p.stop.Store(true)
+	p.wakeAll()
 	p.wg.Wait()
 }
 
 func (w *worker) loop() {
 	defer w.pool.wg.Done()
-	var idle backoff
-	for !w.pool.stop.Load() {
-		if t := w.pop(); t != nil {
-			w.runTask(t)
-			idle.reset()
-			continue
+	for {
+		t := w.next(w.pool.stopRequested)
+		if t == nil {
+			return
 		}
-		if t := w.pool.steal(w); t != nil {
-			w.runTask(t)
-			idle.reset()
-			continue
-		}
-		idle.pause()
+		w.run(t)
 	}
 }
 
-func (w *worker) runTask(t *task) {
-	t.fn(&Ctx{w: w, depth: t.depth})
-	t.done.Store(true)
+func (w *worker) run(t *task) {
+	t.fn(&Ctx{w: w, depth: int(t.depth)})
+	t.done.Store(1)
+	w.st.executed.Add(1)
+	w.pool.wake()
 }
 
-func (w *worker) push(t *task) {
-	w.mu.Lock()
-	w.dq = append(w.dq, t)
-	w.mu.Unlock()
+// idleSpins is how many yield-and-retry rounds a worker burns before
+// parking on the eventcount.
+const idleSpins = 4
+
+// next returns a runnable task, parking the worker until one appears or
+// quit() reports true (pool shutdown for the main loop, task completion for
+// a joiner).  The park protocol is: snapshot the event sequence, announce
+// idleness, re-check everything, and only then sleep — any event published
+// after the snapshot changes the sequence, so the sleep is never entered on
+// a stale view (the idler announcement and the producers' idler check are
+// ordered by Go's sequentially consistent atomics).
+func (w *worker) next(quit func() bool) *task {
+	p := w.pool
+	for {
+		if quit() {
+			return nil
+		}
+		if t := w.dq.pop(); t != nil {
+			return t
+		}
+		if t := p.trySteal(w); t != nil {
+			return t
+		}
+		for s := 0; s < idleSpins; s++ {
+			runtime.Gosched()
+			if quit() {
+				return nil
+			}
+			if t := w.dq.pop(); t != nil {
+				return t
+			}
+			if t := p.trySteal(w); t != nil {
+				return t
+			}
+		}
+		seq := p.seq.Load()
+		p.idlers.Add(1)
+		t := (*task)(nil)
+		if !quit() {
+			if t = w.dq.pop(); t == nil {
+				t = p.stealAny(w)
+			}
+		}
+		if t != nil {
+			p.idlers.Add(-1)
+			return t
+		}
+		if !quit() {
+			p.mu.Lock()
+			for p.seq.Load() == seq && !quit() {
+				p.cond.Wait()
+			}
+			p.mu.Unlock()
+		}
+		p.idlers.Add(-1)
+		if quit() {
+			return nil
+		}
+	}
 }
 
-func (w *worker) pop() *task {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if len(w.dq) == 0 {
+// stealAny deterministically sweeps every victim once (looping only while a
+// lost CAS race says the victim still has work).  It is the final recheck
+// before parking: a randomized probe there could miss the one worker still
+// holding tasks and put a core to sleep until the next completion event,
+// while the sweep guarantees a worker only parks when every deque was seen
+// empty after it announced idleness.
+func (p *Pool) stealAny(thief *worker) *task {
+	n := len(p.workers)
+	for i := 1; i < n; i++ {
+		v := p.workers[(thief.id+i)%n]
+		for {
+			thief.st.attempts.Add(1)
+			t, contended := v.dq.steal()
+			if t != nil {
+				thief.st.steals.Add(1)
+				return t
+			}
+			if !contended {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// trySteal attempts one bounded round of stealing under the pool's policy.
+func (p *Pool) trySteal(thief *worker) *task {
+	n := len(p.workers)
+	if n == 1 {
 		return nil
 	}
-	t := w.dq[len(w.dq)-1]
-	w.dq = w.dq[:len(w.dq)-1]
-	return t
-}
-
-// stealTop removes the head (oldest, shallowest) task.
-func (w *worker) stealTop() *task {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if len(w.dq) == 0 {
-		return nil
-	}
-	t := w.dq[0]
-	w.dq = w.dq[1:]
-	return t
-}
-
-// headDepth peeks at the head's depth, or -1 when empty.
-func (w *worker) headDepth() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if len(w.dq) == 0 {
-		return -1
-	}
-	return w.dq[0].depth
-}
-
-func (p *Pool) steal(thief *worker) *task {
 	switch p.policy {
 	case Priority:
-		best, bestDepth := -1, int(^uint(0)>>1)
-		for i, v := range p.workers {
-			if v == thief {
-				continue
+		// Scan every head for the shallowest advertised task and try to
+		// take it.  If the chosen victim was emptied (or won) concurrently,
+		// rescan and try the remaining victims rather than giving up — the
+		// old mutex runtime returned nil here and forced an idle round.
+		for round := 0; round < n; round++ {
+			best, bestDepth := -1, int(^uint(0)>>1)
+			for i, v := range p.workers {
+				if v == thief {
+					continue
+				}
+				if d := v.dq.headDepth(); d >= 0 && d < bestDepth {
+					best, bestDepth = i, d
+				}
 			}
-			if d := v.headDepth(); d >= 0 && d < bestDepth {
-				best, bestDepth = i, d
+			if best < 0 {
+				return nil
 			}
-		}
-		if best >= 0 {
-			if t := p.workers[best].stealTop(); t != nil {
-				p.steals.Add(1)
+			thief.st.attempts.Add(1)
+			if t, _ := p.workers[best].dq.steal(); t != nil {
+				thief.st.steals.Add(1)
 				return t
 			}
 		}
 	default:
-		n := len(p.workers)
+		// Sample among the other n−1 workers so no probe is wasted on the
+		// thief itself (at p=2 self-sampling voided half the attempts).
 		for tries := 0; tries < n; tries++ {
-			v := p.workers[thief.rng.Intn(n)]
-			if v == thief {
-				continue
-			}
-			if t := v.stealTop(); t != nil {
-				p.steals.Add(1)
+			v := p.workers[(thief.id+1+thief.rng.Intn(n-1))%n]
+			thief.st.attempts.Add(1)
+			if t, _ := v.dq.steal(); t != nil {
+				thief.st.steals.Add(1)
 				return t
 			}
 		}
@@ -214,28 +485,23 @@ func (p *Pool) steal(thief *worker) *task {
 
 // Fork pushes fn as a stealable task and returns its join handle.
 func (c *Ctx) Fork(fn func(*Ctx)) Handle {
-	t := &task{fn: fn, depth: c.depth + 1}
-	c.w.push(t)
+	t := c.w.arena.alloc(fn, int32(c.depth+1))
+	c.w.dq.push(t)
+	c.w.pool.wake()
 	return Handle{t: t}
 }
 
 // Join waits for a forked task, helping with other work meanwhile: first the
 // worker's own deque (which most likely holds the forked task itself), then
-// steals.  Joining only your own forks keeps the discipline deadlock-free.
+// steals; with nothing runnable it parks until the fork completes.  Joining
+// only your own forks keeps the discipline deadlock-free.
 func (c *Ctx) Join(h Handle) {
-	var idle backoff
-	for !h.t.done.Load() {
-		if t := c.w.pop(); t != nil {
-			c.w.runTask(t)
-			idle.reset()
-			continue
+	for !h.t.isDone() {
+		t := c.w.next(h.t.isDone)
+		if t == nil {
+			return
 		}
-		if t := c.w.pool.steal(c.w); t != nil {
-			c.w.runTask(t)
-			idle.reset()
-			continue
-		}
-		idle.pause()
+		c.w.run(t)
 	}
 }
 

@@ -25,13 +25,13 @@ echo "== gate: go build + go test =="
 go build ./...
 go test ./...
 
-echo "== gate: go test -race ./internal/rt (harness substrate) =="
-go test -race ./internal/rt/
+echo "== gate: go test -race ./internal/rt (lock-free deque + parking) =="
+go test -race ./internal/rt/ ./internal/core/
 
 echo "== gate: -race over concurrently executing grid cells =="
 # A golden subset at -parallel 8 is the only place experiment cells run
 # concurrently; race-check it without paying for the full suite under -race.
-go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12)' ./internal/bench/
+go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12|EXP13)' ./internal/bench/
 
 echo "== quick grid -> $OUT =="
 go run ./cmd/hbpbench -quick -repeats 2 -out "$OUT" > /dev/null
@@ -58,7 +58,7 @@ echo "rows.csv: $nrows rows; summary.csv: $nsum groups; rows.jsonl: $njson lines
 
 head -1 "$rows_csv" | grep -q '^exp,algo,n,p,m,b,' || { echo "unexpected rows.csv header" >&2; exit 1; }
 # every experiment must have produced rows
-for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12; do
+for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12 EXP13; do
     grep -q "^$e," "$rows_csv" || { echo "no rows for $e" >&2; exit 1; }
 done
 
