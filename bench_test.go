@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every evaluation artifact of
-// the paper: one benchmark per experiment (see DESIGN.md §3 for the
+// the paper: one benchmark per experiment (see EXPERIMENTS.md for the
 // experiment index), plus micro-benchmarks for the substrates.  Run with
 //
 //	go test -bench=. -benchmem
@@ -56,6 +56,7 @@ func BenchmarkEXP10ListRank(b *testing.B)       { runExperiment(b, "EXP10") }
 func BenchmarkEXP11CC(b *testing.B)             { runExperiment(b, "EXP11") }
 func BenchmarkEXP12Goroutine(b *testing.B)      { runExperiment(b, "EXP12") }
 func BenchmarkEXP13LayoutSweep(b *testing.B)    { runExperiment(b, "EXP13") }
+func BenchmarkEXP14ModelCheck(b *testing.B)     { runExperiment(b, "EXP14") }
 
 // --- Substrate micro-benchmarks --------------------------------------------
 

@@ -3,9 +3,14 @@
 // modes emit the same runs as typed rows (JSON lines or CSV) and can write
 // a timestamped runs/<stamp>/{csv,logs} directory for diffable archives.
 //
+// -list shows each experiment with its kernel-registry backend: "sim"
+// experiments drive the simulated multicore, "real" experiments drive the
+// internal/rt runtime on actual hardware.
+//
 //	hbpbench -list
 //	hbpbench -exp EXP06
 //	hbpbench -quick -exp EXP13        # real-hardware padded-vs-compact sweep
+//	hbpbench -quick -exp EXP14        # analytical model check (internal/model)
 //	hbpbench -quick -parallel 8 -json
 //	hbpbench -quick -repeats 3 -csv
 //	hbpbench -quick -out runs
@@ -46,7 +51,7 @@ func main() {
 	exps := bench.Experiments()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-7s %s\n", e.ID, e.Desc)
+			fmt.Printf("%-7s %-5s %s\n", e.ID, e.Backend, e.Desc)
 		}
 		return
 	}

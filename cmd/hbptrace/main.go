@@ -1,6 +1,9 @@
-// Command hbptrace runs one algorithm from the catalog on the simulated
+// Command hbptrace runs one kernel from the registry on the simulated
 // multicore and dumps the full metric breakdown: per-proc counters, steal
 // histogram by priority, and (with -trace) the measured f(r)/L(r) tables.
+// -algos lists every registered kernel with its backend; only "sim"
+// kernels can be traced (the "real" backend has no simulated counters —
+// run it via hbpbench -exp EXP13).
 //
 //	hbptrace -algo "FFT" -n 1024 -p 8
 //	hbptrace -algo "Scan(M-Sum)" -n 4096 -p 8 -sched rws -trace
@@ -12,8 +15,9 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
+	"repro/internal/algos/registry"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -36,22 +40,30 @@ func main() {
 	flag.Parse()
 
 	if *listOnly {
-		for _, a := range bench.Catalog() {
-			fmt.Printf("%-16s type %-2s f=%-3s L=%-4s sizes %v\n", a.Name, a.Typ, a.F, a.L, a.Sizes)
+		for _, k := range registry.All() {
+			switch k.Backend {
+			case registry.Sim:
+				a := k.Sim
+				fmt.Printf("%-16s %-5s type %-2s f=%-3s L=%-4s sizes %-22s %s\n",
+					a.Name, k.Backend, a.Typ, a.F, a.L, fmt.Sprintf("%v", a.Sizes), k.Desc)
+			case registry.Real:
+				fmt.Printf("%-16s %-5s %s\n", k.Name, k.Backend, k.Desc)
+			}
 		}
 		return
 	}
-	algo, ok := bench.FindAlgo(*algoName)
+	kernel, ok := registry.Find(*algoName, registry.Sim)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "hbptrace: unknown algorithm %q (try -algos)\n", *algoName)
+		fmt.Fprintf(os.Stderr, "hbptrace: no sim kernel %q in the registry (try -algos)\n", *algoName)
 		os.Exit(2)
 	}
+	algo := *kernel.Sim
 	size := *n
 	if size == 0 {
 		size = algo.Sizes[0]
 	}
 
-	spec := bench.Spec{P: *p, M: *mWords, B: *bWords, MissLatency: *lat, Sched: *schedStr, Padded: *padded, Seed: *seed}
+	spec := harness.Spec{P: *p, M: *mWords, B: *bWords, MissLatency: *lat, Sched: *schedStr, Padded: *padded, Seed: *seed}
 	m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
 	root := algo.Build(m, size, spec.Seed)
 	eng := core.NewEngine(m, specScheduler(spec), core.Options{Padded: spec.Padded})
@@ -86,7 +98,7 @@ func main() {
 	}
 }
 
-func specScheduler(s bench.Spec) core.Scheduler {
+func specScheduler(s harness.Spec) core.Scheduler {
 	if s.Sched == "rws" {
 		return sched.NewRWS(12345)
 	}

@@ -1,0 +1,170 @@
+package registry
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/algos/fft"
+	"repro/internal/algos/matmul"
+	"repro/internal/algos/scan"
+	"repro/internal/algos/sortx"
+	"repro/internal/algos/strassen"
+	"repro/internal/rt"
+)
+
+// realProbes is how many output samples the O(n)-per-sample verifiers check.
+const realProbes = 8
+
+// realCatalog is the real-hardware kernel suite: the five Real* drivers from
+// internal/algos, each with a seeded input builder and an output check
+// (sampled dot products, sortedness + sum, full prefix check, sampled DFT
+// bins).  EXP13 sweeps these over runtime layout and worker count.
+var realCatalog = []RealKernel{
+	{
+		Name: "matmul", Desc: "cache-oblivious Depth-n-MM recursion on float64 matrices",
+		Size: func(quick bool) int { return pickSize(quick, 128, 256) },
+		Setup: func(n int, seed uint64) RealWork {
+			a := realMatrix(n, seed+1)
+			b := realMatrix(n, seed+2)
+			out := make([]float64, n*n)
+			return RealWork{
+				Run:    func(c *rt.Ctx) { matmul.RealMul(c, a, b, out, n) },
+				Verify: func() bool { return probeProduct(a, b, out, n, seed) },
+			}
+		},
+	},
+	{
+		Name: "strassen", Desc: "Strassen multiplication with parallel recursive products",
+		Size: func(quick bool) int { return pickSize(quick, 128, 256) },
+		Setup: func(n int, seed uint64) RealWork {
+			a := realMatrix(n, seed+3)
+			b := realMatrix(n, seed+4)
+			out := make([]float64, n*n)
+			return RealWork{
+				Run:    func(c *rt.Ctx) { strassen.RealMul(c, a, b, out, n) },
+				Verify: func() bool { return probeProduct(a, b, out, n, seed) },
+			}
+		},
+	},
+	{
+		Name: "sortx", Desc: "merge sort with merge-path parallel merge",
+		Size: func(quick bool) int { return pickSize(quick, 1<<16, 1<<19) },
+		Setup: func(n int, seed uint64) RealWork {
+			data := make([]int64, n)
+			g := LCG(seed + 5)
+			var sum int64
+			for i := range data {
+				data[i] = g.Next() % (1 << 30)
+				sum += data[i]
+			}
+			return RealWork{
+				Run: func(c *rt.Ctx) { sortx.RealSort(c, data) },
+				Verify: func() bool {
+					var got int64
+					for i, v := range data {
+						got += v
+						if i > 0 && data[i-1] > v {
+							return false
+						}
+					}
+					return got == sum
+				},
+			}
+		},
+	},
+	{
+		Name: "scan", Desc: "three-phase parallel prefix sums",
+		Size: func(quick bool) int { return pickSize(quick, 1<<19, 1<<21) },
+		Setup: func(n int, seed uint64) RealWork {
+			in := make([]int64, n)
+			g := LCG(seed + 6)
+			for i := range in {
+				in[i] = g.Next()%1000 - 500
+			}
+			out := make([]int64, n)
+			return RealWork{
+				Run: func(c *rt.Ctx) { scan.RealPrefix(c, in, out, 0) },
+				Verify: func() bool {
+					var s int64
+					for i, v := range in {
+						s += v
+						if out[i] != s {
+							return false
+						}
+					}
+					return true
+				},
+			}
+		},
+	},
+	{
+		Name: "fft", Desc: "parallel decimation-in-time FFT",
+		Size: func(quick bool) int { return pickSize(quick, 1<<13, 1<<15) },
+		Setup: func(n int, seed uint64) RealWork {
+			data := make([]complex128, n)
+			g := LCG(seed + 7)
+			for i := range data {
+				re := float64(g.Next()%1000)/1000 - 0.5
+				im := float64(g.Next()%1000)/1000 - 0.5
+				data[i] = complex(re, im)
+			}
+			orig := make([]complex128, n)
+			copy(orig, data)
+			return RealWork{
+				Run:    func(c *rt.Ctx) { fft.RealForward(c, data) },
+				Verify: func() bool { return probeDFT(orig, data, seed) },
+			}
+		},
+	},
+}
+
+func pickSize(quick bool, q, full int) int {
+	if quick {
+		return q
+	}
+	return full
+}
+
+func realMatrix(n int, seed uint64) []float64 {
+	m := make([]float64, n*n)
+	g := LCG(seed)
+	for i := range m {
+		m[i] = float64(g.Next()%2048)/2048 - 0.5
+	}
+	return m
+}
+
+// probeProduct recomputes realProbes entries of out = a·b directly.
+func probeProduct(a, b, out []float64, n int, seed uint64) bool {
+	g := LCG(seed + 99)
+	for t := 0; t < realProbes; t++ {
+		i := int(g.Next() % int64(n))
+		j := int(g.Next() % int64(n))
+		var s float64
+		for k := 0; k < n; k++ {
+			s += a[i*n+k] * b[k*n+j]
+		}
+		if math.Abs(out[i*n+j]-s) > 1e-6*float64(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// probeDFT recomputes realProbes frequency bins of the DFT directly.
+func probeDFT(in, out []complex128, seed uint64) bool {
+	n := len(in)
+	g := LCG(seed + 98)
+	for t := 0; t < realProbes; t++ {
+		k := int(g.Next() % int64(n))
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += in[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		if cmplx.Abs(out[k]-s) > 1e-6*float64(n) {
+			return false
+		}
+	}
+	return true
+}

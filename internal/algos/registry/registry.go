@@ -1,0 +1,157 @@
+// Package registry is the single kernel catalog of the repo: every
+// algorithm — whether it runs on the *simulated* multicore of
+// internal/machine (the paper's model, Sections 1–2) or on *real hardware*
+// via the internal/rt work-stealing runtime — is registered here under a
+// (name, backend) key.  The experiment drivers (internal/bench), both
+// commands (cmd/hbpbench, cmd/hbptrace) and the analytical cost model
+// (internal/model) all resolve kernels through this package, so the
+// scenario surface has one source of truth.
+//
+// Backends:
+//
+//   - Sim: a Table-1 HBP algorithm (Section 3) built as a core.Node tree on
+//     a fresh simulated machine; measurements are the paper's quantities
+//     (cache misses, block misses, steals, makespan in time units).
+//   - Real: a goroutine fork-join kernel on internal/rt; measurements are
+//     wall-clock and runtime steal counters, with a per-run output check.
+//
+// Input generation is seeded (FillRand, RandPermList, an LCG) so repeats
+// are distinct yet reproducible; seed 0 reproduces the historical fixed
+// inputs of the earliest experiments.
+package registry
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/rt"
+)
+
+// Backend tags where a kernel runs.
+type Backend string
+
+const (
+	// Sim kernels run on the simulated multicore (internal/machine).
+	Sim Backend = "sim"
+	// Real kernels run on real hardware via internal/rt.
+	Real Backend = "real"
+)
+
+// SimKernel is a Table-1 catalog algorithm on the simulated machine: the
+// paper's structural parameters plus a builder that allocates inputs on a
+// fresh machine and returns the computation root.
+type SimKernel struct {
+	Name string
+	Desc string // one-line description for listings
+	Typ  string // HBP type (Definition 3.4)
+	F    string // f(r) column of Table 1
+	L    string // L(r) column of Table 1
+	W    string // W(n) column of Table 1
+	TInf string // T∞(n) column of Table 1
+	Q    string // Q(n,M,B) column of Table 1
+	// Sizes are the n-sweep used by experiments (ascending).
+	Sizes []int64
+	// InputWords converts n to the input size in words (n² for matrices).
+	InputWords func(n int64) int64
+	// Build allocates seeded inputs in m's address space and returns the
+	// root task.  seed 0 reproduces the historical fixed inputs.
+	Build func(m *machine.Machine, n int64, seed uint64) *core.Node
+}
+
+// RealWork is one prepared real-hardware kernel invocation: inputs are
+// built (and the result verified) outside the timed pool run.
+type RealWork struct {
+	Run    func(c *rt.Ctx)
+	Verify func() bool
+}
+
+// RealKernel is a real-hardware kernel on the internal/rt runtime.
+type RealKernel struct {
+	Name string
+	Desc string // one-line description for listings
+	// Size picks the problem size (quick vs full sweeps).
+	Size func(quick bool) int
+	// Setup builds seeded inputs and returns the timed work unit.
+	Setup func(n int, seed uint64) RealWork
+}
+
+// Kernel is one registry entry: a (name, backend) key plus exactly one of
+// the backend-specific descriptors.
+type Kernel struct {
+	Name    string
+	Backend Backend
+	Desc    string
+	Sim     *SimKernel  // non-nil iff Backend == Sim
+	Real    *RealKernel // non-nil iff Backend == Real
+}
+
+// All returns every registered kernel, sim backend first, in catalog order.
+func All() []Kernel {
+	var out []Kernel
+	for i := range simCatalog {
+		k := &simCatalog[i]
+		out = append(out, Kernel{Name: k.Name, Backend: Sim, Desc: k.Desc, Sim: k})
+	}
+	for i := range realCatalog {
+		k := &realCatalog[i]
+		out = append(out, Kernel{Name: k.Name, Backend: Real, Desc: k.Desc, Real: k})
+	}
+	return out
+}
+
+// Find returns the kernel registered under (name, backend).
+func Find(name string, b Backend) (Kernel, bool) {
+	for _, k := range All() {
+		if k.Name == name && k.Backend == b {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// SimKernels returns the simulated Table-1 catalog in order.
+func SimKernels() []SimKernel { return append([]SimKernel(nil), simCatalog...) }
+
+// RealKernels returns the real-hardware kernel suite in order.
+func RealKernels() []RealKernel { return append([]RealKernel(nil), realCatalog...) }
+
+// LCG is a tiny deterministic generator for reproducible inputs.
+type LCG uint64
+
+// Next returns the next nonnegative pseudo-random value.
+func (g *LCG) Next() int64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return int64(*g >> 33)
+}
+
+// FillRand fills a with seeded values in [0, mod).
+func FillRand(a mem.Array, seed uint64, mod int64) {
+	g := LCG(seed)
+	for i := int64(0); i < a.Len(); i++ {
+		a.Set(i, g.Next()%mod)
+	}
+}
+
+// RandPermList builds the successor array of a random n-node linked list
+// (the list-ranking input): a uniformly seeded permutation chained head to
+// tail, with -1 terminating the last node.
+func RandPermList(sp *mem.Space, n int64, seed uint64) mem.Array {
+	g := LCG(seed)
+	order := make([]int64, n)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := g.Next() % (i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	succ := mem.NewArray(sp, n)
+	for k := int64(0); k < n; k++ {
+		if k == n-1 {
+			succ.Set(order[k], -1)
+		} else {
+			succ.Set(order[k], order[k+1])
+		}
+	}
+	return succ
+}

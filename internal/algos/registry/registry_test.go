@@ -1,0 +1,87 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/rt"
+)
+
+func TestRegistryKeys(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range All() {
+		key := k.Name + "/" + string(k.Backend)
+		if k.Name == "" || seen[key] {
+			t.Errorf("duplicate or empty kernel key %q", key)
+		}
+		seen[key] = true
+		if k.Desc == "" {
+			t.Errorf("%s: no description", key)
+		}
+		switch k.Backend {
+		case Sim:
+			if k.Sim == nil || k.Real != nil {
+				t.Errorf("%s: sim entry malformed", key)
+			}
+		case Real:
+			if k.Real == nil || k.Sim != nil {
+				t.Errorf("%s: real entry malformed", key)
+			}
+		default:
+			t.Errorf("%s: unknown backend", key)
+		}
+	}
+	if len(SimKernels()) != 13 {
+		t.Errorf("sim catalog has %d kernels, want 13 (Table 1)", len(SimKernels()))
+	}
+	if len(RealKernels()) != 5 {
+		t.Errorf("real catalog has %d kernels, want 5", len(RealKernels()))
+	}
+}
+
+func TestFind(t *testing.T) {
+	if k, ok := Find("FFT", Sim); !ok || k.Sim == nil {
+		t.Error("FFT/sim not found")
+	}
+	if k, ok := Find("fft", Real); !ok || k.Real == nil {
+		t.Error("fft/real not found")
+	}
+	if _, ok := Find("FFT", Real); ok {
+		t.Error("FFT/real should not exist (real kernels use lower-case names)")
+	}
+	if _, ok := Find("nope", Sim); ok {
+		t.Error("bogus name found")
+	}
+}
+
+func TestSimCatalogShape(t *testing.T) {
+	for _, a := range SimKernels() {
+		if len(a.Sizes) < 2 {
+			t.Errorf("%s: need ≥2 sizes for growth ratios", a.Name)
+		}
+		for i := 1; i < len(a.Sizes); i++ {
+			if a.Sizes[i] <= a.Sizes[i-1] {
+				t.Errorf("%s: sizes not increasing", a.Name)
+			}
+		}
+		if a.Build == nil || a.InputWords == nil {
+			t.Errorf("%s: missing Build/InputWords", a.Name)
+		}
+	}
+}
+
+// TestRealKernelsVerify runs every real kernel once at quick size on a
+// 2-worker pool and checks its own verifier passes.
+func TestRealKernelsVerify(t *testing.T) {
+	for _, k := range RealKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			n := k.Size(true)
+			work := k.Setup(n, 7)
+			pool := rt.NewPool(2, rt.Random)
+			pool.Run(work.Run)
+			if !work.Verify() {
+				t.Errorf("%s: wrong result at n=%d", k.Name, n)
+			}
+		})
+	}
+}

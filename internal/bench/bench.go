@@ -14,14 +14,7 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/algos/fft"
-	"repro/internal/algos/graph"
-	"repro/internal/algos/listrank"
-	"repro/internal/algos/mat"
-	"repro/internal/algos/matmul"
-	"repro/internal/algos/scan"
-	"repro/internal/algos/sortx"
-	"repro/internal/algos/strassen"
+	"repro/internal/algos/registry"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/machine"
@@ -58,23 +51,10 @@ func schedName(s Spec) string {
 
 // Algo is a catalog entry: a named HBP algorithm with its paper parameters
 // (Table 1 columns) and a builder that allocates inputs on a fresh machine
-// and returns the computation root.  n is the algorithm's natural size
-// parameter (side length for matrix algorithms); seed perturbs the generated
-// inputs so grid repeats are distinct yet reproducible (seed 0 reproduces
-// the historical fixed inputs).
-type Algo struct {
-	Name  string
-	Typ   string // HBP type
-	F     string // f(r) column
-	L     string // L(r) column
-	W     string // W(n) column
-	TInf  string // T∞(n) column
-	Q     string // Q(n,M,B) column
-	Sizes []int64
-	// InputWords converts n to the input size in words (n² for matrices).
-	InputWords func(n int64) int64
-	Build      func(m *machine.Machine, n int64, seed uint64) *core.Node
-}
+// and returns the computation root.  The catalog itself lives in
+// internal/algos/registry (backend "sim"); Algo is the registry's SimKernel,
+// re-exported so the experiment drivers keep their vocabulary.
+type Algo = registry.SimKernel
 
 // Run executes the algorithm at size n under the spec on a fresh machine,
 // seeding the inputs from spec.Seed.
@@ -100,6 +80,7 @@ func rowFrom(exp string, algo string, n int64, spec Spec, res core.Result, wall 
 		BlockMisses:      res.Total.BlockMisses,
 		UpgradeMisses:    res.Total.UpgradeMisses,
 		BlockWait:        res.Total.BlockWait,
+		Transfers:        res.BlockTransfers,
 		Steals:           res.Steals,
 		StealAttempts:    res.StealAttempts,
 		MaxStealsPerPrio: res.MaxStealsPerPrio(),
@@ -119,224 +100,23 @@ func measure(exp string, a Algo, n int64, spec Spec) harness.Row {
 	return rowFrom(exp, a.Name, n, spec, res, time.Since(start))
 }
 
-// lcg is a tiny deterministic generator for reproducible inputs.
-type lcg uint64
-
-func (g *lcg) next() int64 {
-	*g = *g*6364136223846793005 + 1442695040888963407
-	return int64(*g >> 33)
-}
-
-func fillRand(a mem.Array, seed uint64, mod int64) {
-	g := lcg(seed)
-	for i := int64(0); i < a.Len(); i++ {
-		a.Set(i, g.next()%mod)
-	}
-}
-
+// randPermList builds the seeded list-ranking input via the registry's
+// generator (kept as a local name for the experiment drivers).
 func randPermList(sp *mem.Space, n int64, seed uint64) mem.Array {
-	g := lcg(seed)
-	order := make([]int64, n)
-	for i := range order {
-		order[i] = int64(i)
-	}
-	for i := n - 1; i > 0; i-- {
-		j := g.next() % (i + 1)
-		order[i], order[j] = order[j], order[i]
-	}
-	succ := mem.NewArray(sp, n)
-	for k := int64(0); k < n; k++ {
-		if k == n-1 {
-			succ.Set(order[k], -1)
-		} else {
-			succ.Set(order[k], order[k+1])
-		}
-	}
-	return succ
+	return registry.RandPermList(sp, n, seed)
 }
 
 // Catalog returns every Table-1 algorithm, sized for simulator-scale runs.
-func Catalog() []Algo {
-	return []Algo{
-		{
-			Name: "Scan(M-Sum)", Typ: "1", F: "1", L: "1",
-			W: "O(n)", TInf: "O(log n)", Q: "O(n/B)",
-			Sizes:      []int64{4096, 16384, 65536},
-			InputWords: func(n int64) int64 { return n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				a := mem.NewArray(m.Space, n)
-				fillRand(a, seed+1, 100)
-				out := m.Space.Alloc(1)
-				tree := mem.NewArray(m.Space, core.UpTreeLen(n))
-				return scan.MSum(a, out, tree)
-			},
-		},
-		{
-			Name: "Scan(PS)", Typ: "1", F: "1", L: "1",
-			W: "O(n)", TInf: "O(log n)", Q: "O(n/B)",
-			Sizes:      []int64{4096, 16384, 65536},
-			InputWords: func(n int64) int64 { return n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				a := mem.NewArray(m.Space, n)
-				fillRand(a, seed+2, 100)
-				out := mem.NewArray(m.Space, n)
-				tree := mem.NewArray(m.Space, core.UpTreeLen(n))
-				scr := m.Space.Alloc(1)
-				return scan.PrefixSums(a, out, tree, scr)
-			},
-		},
-		{
-			Name: "MT (BI)", Typ: "1", F: "1", L: "1",
-			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
-			Sizes:      []int64{64, 128, 256},
-			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				src := mat.AllocBI(m.Space, n, 1)
-				dst := mat.AllocBI(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+3, 1000)
-				return mat.MT(src, dst)
-			},
-		},
-		{
-			Name: "RM to BI", Typ: "1", F: "√r", L: "1",
-			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
-			Sizes:      []int64{64, 128, 256},
-			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				src := mat.AllocRM(m.Space, n, n, 1)
-				dst := mat.AllocBI(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+4, 1000)
-				return mat.RMtoBI(src, dst)
-			},
-		},
-		{
-			Name: "Direct BI-RM", Typ: "1", F: "√r", L: "√r",
-			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
-			Sizes:      []int64{64, 128, 256},
-			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				src := mat.AllocBI(m.Space, n, 1)
-				dst := mat.AllocRM(m.Space, n, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+5, 1000)
-				return mat.DirectBItoRM(src, dst)
-			},
-		},
-		{
-			Name: "BI-RM (gap RM)", Typ: "1", F: "√r", L: "gap",
-			W: "O(n²)", TInf: "O(log n)", Q: "O(n²/B)",
-			Sizes:      []int64{64, 128, 256},
-			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				src := mat.AllocBI(m.Space, n, 1)
-				dst := mat.AllocRM(m.Space, n, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+6, 1000)
-				return mat.GapBItoRM(src, dst, mat.NewGapLayout(n))
-			},
-		},
-		{
-			Name: "BI-RM for FFT", Typ: "2", F: "√r", L: "1",
-			W: "O(n² lglg n)", TInf: "O(log n)", Q: "O(n²/B · log_M n)",
-			Sizes:      []int64{64, 128, 256},
-			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				src := mat.AllocBI(m.Space, n, 1)
-				dst := mat.AllocRM(m.Space, n, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n * n}, seed+7, 1000)
-				return mat.BIRMforFFT(src, dst)
-			},
-		},
-		{
-			Name: "Strassen (BI)", Typ: "2", F: "1", L: "1",
-			W: "O(n^2.81)", TInf: "O(log² n)", Q: "O(n^λ/(B·M^(λ/2−1)))",
-			Sizes:      []int64{16, 32, 64},
-			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				a := mat.AllocBI(m.Space, n, 1)
-				b := mat.AllocBI(m.Space, n, 1)
-				out := mat.AllocBI(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: a.Base, N: n * n}, seed+8, 10)
-				fillRand(mem.Array{Space: m.Space, Base: b.Base, N: n * n}, seed+9, 10)
-				return strassen.Mul(a, b, out)
-			},
-		},
-		{
-			Name: "Depth-n-MM", Typ: "2", F: "1", L: "1",
-			W: "O(n³)", TInf: "O(n)", Q: "O(n³/(B√M))",
-			Sizes:      []int64{16, 32, 64},
-			InputWords: func(n int64) int64 { return n * n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				a := mat.AllocBI(m.Space, n, 1)
-				b := mat.AllocBI(m.Space, n, 1)
-				out := mat.AllocBI(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: a.Base, N: n * n}, seed+10, 10)
-				fillRand(mem.Array{Space: m.Space, Base: b.Base, N: n * n}, seed+11, 10)
-				return matmul.Mul(a, b, out)
-			},
-		},
-		{
-			Name: "FFT", Typ: "2", F: "√r", L: "1",
-			W: "O(n log n)", TInf: "O(log n·lglg n)", Q: "O(n/B·log_M n)",
-			Sizes:      []int64{1024, 4096, 16384},
-			InputWords: func(n int64) int64 { return 2 * n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				src := mem.NewCArray(m.Space, n)
-				dst := mem.NewCArray(m.Space, n)
-				g := lcg(seed + 12)
-				for i := int64(0); i < n; i++ {
-					src.Set(i, complex(float64(g.next()%1000)/1000, float64(g.next()%1000)/1000))
-				}
-				return fft.Forward(src, dst)
-			},
-		},
-		{
-			Name: "Sort (SPMS-sub)", Typ: "2", F: "√r", L: "1",
-			W: "O(n log n)", TInf: "O(log n·lglg n)*", Q: "O(n/B·log_M n)*",
-			Sizes:      []int64{1024, 4096, 16384},
-			InputWords: func(n int64) int64 { return n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				src := sortx.NewRecs(m.Space, n, 1)
-				dst := sortx.NewRecs(m.Space, n, 1)
-				fillRand(mem.Array{Space: m.Space, Base: src.Base, N: n}, seed+13, 1<<30)
-				return sortx.Sort(src, dst)
-			},
-		},
-		{
-			Name: "LR", Typ: "3", F: "√r", L: "gap",
-			W: "O(n log n)", TInf: "O(log² n·lglg n)", Q: "O(n/B·log_M n)",
-			Sizes:      []int64{256, 512, 1024},
-			InputWords: func(n int64) int64 { return n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				succ := randPermList(m.Space, n, seed+14)
-				rank := mem.NewArray(m.Space, n)
-				return listrank.Rank(succ, rank, listrank.Options{})
-			},
-		},
-		{
-			Name: "CC", Typ: "4", F: "√r", L: "gap",
-			W: "O(n log² n)", TInf: "O(log³ n·lglg n)", Q: "O(n/B·log_M n·log n)",
-			Sizes:      []int64{64, 128, 256},
-			InputWords: func(n int64) int64 { return 3 * n },
-			Build: func(m *machine.Machine, n int64, seed uint64) *core.Node {
-				mEdges := 2 * n
-				eu := mem.NewArray(m.Space, mEdges)
-				ev := mem.NewArray(m.Space, mEdges)
-				fillRand(eu, seed+15, n)
-				fillRand(ev, seed+16, n)
-				comp := mem.NewArray(m.Space, n)
-				return graph.CC(n, eu, ev, comp)
-			},
-		},
-	}
-}
+// It is the registry's sim backend (internal/algos/registry).
+func Catalog() []Algo { return registry.SimKernels() }
 
 // FindAlgo returns the catalog entry with the given name.
 func FindAlgo(name string) (Algo, bool) {
-	for _, a := range Catalog() {
-		if a.Name == name {
-			return a, true
-		}
+	k, ok := registry.Find(name, registry.Sim)
+	if !ok {
+		return Algo{}, false
 	}
-	return Algo{}, false
+	return *k.Sim, true
 }
 
 // Params configures one harness invocation: how big the sweeps are and how
@@ -369,13 +149,16 @@ func stamp(spec Spec, rep int, seed uint64) Spec {
 
 // Experiment is a registered driver: a cell builder (the grid), an optional
 // finish pass that fills cross-cell derived columns (excess over the serial
-// base, speedups), and a renderer for the paper-style text table.
+// base, speedups), and a renderer for the paper-style text table.  Backend
+// says which kernel registry backend the experiment drives: the simulated
+// multicore (registry.Sim) or real hardware via internal/rt (registry.Real).
 type Experiment struct {
-	ID     string
-	Desc   string
-	Cells  func(p Params) []harness.Cell
-	Finish func(rows []harness.Row) []harness.Row
-	Render func(w io.Writer, rows []harness.Row)
+	ID      string
+	Desc    string
+	Backend registry.Backend
+	Cells   func(p Params) []harness.Cell
+	Finish  func(rows []harness.Row) []harness.Row
+	Render  func(w io.Writer, rows []harness.Row)
 }
 
 // Rows expands the experiment's grid, executes it with the given
@@ -395,20 +178,22 @@ func (e Experiment) Run(w io.Writer, quick bool) {
 
 // Experiments returns all drivers in id order.
 func Experiments() []Experiment {
+	sim, real := registry.Sim, registry.Real
 	return []Experiment{
-		{"EXP01", "Table 1: structural parameters of every HBP algorithm", exp01Cells, nil, exp01Render},
-		{"EXP02", "Lemma 4.4: BP cache-miss excess is O(pM/B)", exp02Cells, exp02Finish, exp02Render},
-		{"EXP03", "Lemma 4.1: Type-2 HBP cache-miss excess", exp03Cells, exp03Finish, exp03Render},
-		{"EXP04", "Lemmas 4.8/4.9/4.2: block-miss (false-sharing) excess", exp04Cells, nil, exp04Render},
-		{"EXP05", "Obs 4.3 + Cor 4.1: steal counts per priority and attempts", exp05Cells, nil, exp05Render},
-		{"EXP06", "PWS vs RWS: the headline scheduler comparison", exp06Cells, exp06Finish, exp06Render},
-		{"EXP07", "Gapping ablation: Direct BI-RM vs BI-RM (gap RM)", exp07Cells, nil, exp07Render},
-		{"EXP08", "Padding ablation (§4.7): padded vs standard stacks", exp08Cells, nil, exp08Render},
-		{"EXP09", "Lemma 4.12: runtime decomposition (W+bQ)/p + sP·T∞", exp09Cells, exp09Finish, exp09Render},
-		{"EXP10", "Thm 4.1: list ranking bounds and gapping cutoff", exp10Cells, nil, exp10Render},
-		{"EXP11", "CC: log n × LR cost shape", exp11Cells, nil, exp11Render},
-		{"EXP12", "Goroutine runtime speedup (real parallelism)", exp12Cells, exp12Finish, exp12Render},
-		{"EXP13", "False-sharing layout sweep: padded vs compact runtime state", exp13Cells, exp13Finish, exp13Render},
+		{"EXP01", "Table 1: structural parameters of every HBP algorithm", sim, exp01Cells, nil, exp01Render},
+		{"EXP02", "Lemma 4.4: BP cache-miss excess is O(pM/B)", sim, exp02Cells, exp02Finish, exp02Render},
+		{"EXP03", "Lemma 4.1: Type-2 HBP cache-miss excess", sim, exp03Cells, exp03Finish, exp03Render},
+		{"EXP04", "Lemmas 4.8/4.9/4.2: block-miss (false-sharing) excess", sim, exp04Cells, nil, exp04Render},
+		{"EXP05", "Obs 4.3 + Cor 4.1: steal counts per priority and attempts", sim, exp05Cells, nil, exp05Render},
+		{"EXP06", "PWS vs RWS: the headline scheduler comparison", sim, exp06Cells, exp06Finish, exp06Render},
+		{"EXP07", "Gapping ablation: Direct BI-RM vs BI-RM (gap RM)", sim, exp07Cells, nil, exp07Render},
+		{"EXP08", "Padding ablation (§4.7): padded vs standard stacks", sim, exp08Cells, nil, exp08Render},
+		{"EXP09", "Lemma 4.12: runtime decomposition (W+bQ)/p + sP·T∞", sim, exp09Cells, exp09Finish, exp09Render},
+		{"EXP10", "Thm 4.1: list ranking bounds and gapping cutoff", sim, exp10Cells, nil, exp10Render},
+		{"EXP11", "CC: log n × LR cost shape", sim, exp11Cells, nil, exp11Render},
+		{"EXP12", "Goroutine runtime speedup (real parallelism)", real, exp12Cells, exp12Finish, exp12Render},
+		{"EXP13", "False-sharing layout sweep: padded vs compact runtime state", real, exp13Cells, exp13Finish, exp13Render},
+		{"EXP14", "Analytical model check: fitted bounds per kernel × sched × (n,p,B)", sim, exp14Cells, exp14Finish, exp14Render},
 	}
 }
 

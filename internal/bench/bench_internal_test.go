@@ -40,8 +40,13 @@ func TestFindAlgo(t *testing.T) {
 
 func TestExperimentsRegistered(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("%d experiments registered, want 13", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("%d experiments registered, want 14", len(exps))
+	}
+	for _, e := range exps {
+		if e.Backend != "sim" && e.Backend != "real" {
+			t.Errorf("%s: backend %q not in the registry vocabulary", e.ID, e.Backend)
+		}
 	}
 	for i, e := range exps {
 		if e.Cells == nil || e.Render == nil {

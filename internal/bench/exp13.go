@@ -2,205 +2,30 @@ package bench
 
 import (
 	"io"
-	"math"
-	"math/cmplx"
 	"runtime"
 	"time"
 
-	"repro/internal/algos/fft"
-	"repro/internal/algos/matmul"
-	"repro/internal/algos/scan"
-	"repro/internal/algos/sortx"
-	"repro/internal/algos/strassen"
+	"repro/internal/algos/registry"
 	"repro/internal/harness"
 	"repro/internal/rt"
 )
 
-// EXP13 is the real-hardware false-sharing ablation: the same five kernels
-// (matmul, strassen, sortx, scan, fft) run on the internal/rt runtime with
-// its hot worker/task state laid out either padded (one cache line per
-// contended word, the paper's §4.7 discipline applied to the scheduler
-// itself) or compact (all workers' deque indices, counters and task frames
-// packed so independent writes share lines).  On a multi-core machine the
-// compact arm pays coherence traffic for every push, steal and completion —
-// the block-miss penalty the paper's lemmas bound, demonstrated on silicon
-// rather than in the simulator.  Cells are Exclusive and rows Volatile, as
-// in EXP12; every row carries runtime.NumCPU() in Aux3 because on a
-// single-core runner (the CI box) neither speedups nor the layout gap can
-// show.
+// EXP13 is the real-hardware false-sharing ablation: the registry's five
+// real kernels (matmul, strassen, sortx, scan, fft) run on the internal/rt
+// runtime with its hot worker/task state laid out either padded (one cache
+// line per contended word, the paper's §4.7 discipline applied to the
+// scheduler itself) or compact (all workers' deque indices, counters and
+// task frames packed so independent writes share lines).  On a multi-core
+// machine the compact arm pays coherence traffic for every push, steal and
+// completion — the block-miss penalty the paper's lemmas bound,
+// demonstrated on silicon rather than in the simulator.  Cells are
+// Exclusive and rows Volatile, as in EXP12; every row carries
+// runtime.NumCPU() in Aux3 because on a single-core runner (the CI box)
+// neither speedups nor the layout gap can show.
 //
 // Finish fills Aux1 = speedup over the same kernel/layout at p=1 and
 // Aux2 = wall(compact)/wall(padded) for the matching cell — the
 // false-sharing penalty factor (>1 means padding won).
-
-// exp13Work is one prepared kernel invocation: inputs are built (and the
-// result verified) outside the timed pool run.
-type exp13Work struct {
-	run    func(c *rt.Ctx)
-	verify func() bool
-}
-
-type exp13Kernel struct {
-	name  string
-	size  func(quick bool) int
-	setup func(n int, seed uint64) exp13Work
-}
-
-// exp13Probes is how many output samples the O(n)-per-sample verifiers
-// check.
-const exp13Probes = 8
-
-func exp13Kernels() []exp13Kernel {
-	return []exp13Kernel{
-		{
-			name: "matmul",
-			size: func(quick bool) int { return pick(quick, 128, 256) },
-			setup: func(n int, seed uint64) exp13Work {
-				a := realMatrix(n, seed+1)
-				b := realMatrix(n, seed+2)
-				out := make([]float64, n*n)
-				return exp13Work{
-					run:    func(c *rt.Ctx) { matmul.RealMul(c, a, b, out, n) },
-					verify: func() bool { return probeProduct(a, b, out, n, seed) },
-				}
-			},
-		},
-		{
-			name: "strassen",
-			size: func(quick bool) int { return pick(quick, 128, 256) },
-			setup: func(n int, seed uint64) exp13Work {
-				a := realMatrix(n, seed+3)
-				b := realMatrix(n, seed+4)
-				out := make([]float64, n*n)
-				return exp13Work{
-					run:    func(c *rt.Ctx) { strassen.RealMul(c, a, b, out, n) },
-					verify: func() bool { return probeProduct(a, b, out, n, seed) },
-				}
-			},
-		},
-		{
-			name: "sortx",
-			size: func(quick bool) int { return pick(quick, 1<<16, 1<<19) },
-			setup: func(n int, seed uint64) exp13Work {
-				data := make([]int64, n)
-				g := lcg(seed + 5)
-				var sum int64
-				for i := range data {
-					data[i] = g.next() % (1 << 30)
-					sum += data[i]
-				}
-				return exp13Work{
-					run: func(c *rt.Ctx) { sortx.RealSort(c, data) },
-					verify: func() bool {
-						var got int64
-						for i, v := range data {
-							got += v
-							if i > 0 && data[i-1] > v {
-								return false
-							}
-						}
-						return got == sum
-					},
-				}
-			},
-		},
-		{
-			name: "scan",
-			size: func(quick bool) int { return pick(quick, 1<<19, 1<<21) },
-			setup: func(n int, seed uint64) exp13Work {
-				in := make([]int64, n)
-				g := lcg(seed + 6)
-				for i := range in {
-					in[i] = g.next()%1000 - 500
-				}
-				out := make([]int64, n)
-				return exp13Work{
-					run: func(c *rt.Ctx) { scan.RealPrefix(c, in, out, 0) },
-					verify: func() bool {
-						var s int64
-						for i, v := range in {
-							s += v
-							if out[i] != s {
-								return false
-							}
-						}
-						return true
-					},
-				}
-			},
-		},
-		{
-			name: "fft",
-			size: func(quick bool) int { return pick(quick, 1<<13, 1<<15) },
-			setup: func(n int, seed uint64) exp13Work {
-				data := make([]complex128, n)
-				g := lcg(seed + 7)
-				for i := range data {
-					re := float64(g.next()%1000)/1000 - 0.5
-					im := float64(g.next()%1000)/1000 - 0.5
-					data[i] = complex(re, im)
-				}
-				orig := make([]complex128, n)
-				copy(orig, data)
-				return exp13Work{
-					run:    func(c *rt.Ctx) { fft.RealForward(c, data) },
-					verify: func() bool { return probeDFT(orig, data, seed) },
-				}
-			},
-		},
-	}
-}
-
-func pick(quick bool, q, full int) int {
-	if quick {
-		return q
-	}
-	return full
-}
-
-func realMatrix(n int, seed uint64) []float64 {
-	m := make([]float64, n*n)
-	g := lcg(seed)
-	for i := range m {
-		m[i] = float64(g.next()%2048)/2048 - 0.5
-	}
-	return m
-}
-
-// probeProduct recomputes exp13Probes entries of out = a·b directly.
-func probeProduct(a, b, out []float64, n int, seed uint64) bool {
-	g := lcg(seed + 99)
-	for t := 0; t < exp13Probes; t++ {
-		i := int(g.next() % int64(n))
-		j := int(g.next() % int64(n))
-		var s float64
-		for k := 0; k < n; k++ {
-			s += a[i*n+k] * b[k*n+j]
-		}
-		if math.Abs(out[i*n+j]-s) > 1e-6*float64(n) {
-			return false
-		}
-	}
-	return true
-}
-
-// probeDFT recomputes exp13Probes frequency bins of the DFT directly.
-func probeDFT(in, out []complex128, seed uint64) bool {
-	n := len(in)
-	g := lcg(seed + 98)
-	for t := 0; t < exp13Probes; t++ {
-		k := int(g.next() % int64(n))
-		var s complex128
-		for j := 0; j < n; j++ {
-			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
-			s += in[j] * complex(math.Cos(ang), math.Sin(ang))
-		}
-		if cmplx.Abs(out[k]-s) > 1e-6*float64(n) {
-			return false
-		}
-	}
-	return true
-}
 
 // statusNote reports a cell's verification outcome.
 func statusNote(ok bool) string {
@@ -223,26 +48,26 @@ func exp13Cells(p Params) []harness.Cell {
 	layouts := []rt.Layout{rt.LayoutPadded, rt.LayoutCompact}
 	var cells []harness.Cell
 	p.eachRepeat(func(rep int, seed uint64) {
-		for _, k := range exp13Kernels() {
+		for _, k := range registry.RealKernels() {
 			for _, layout := range layouts {
 				for _, pr := range procs {
 					k, layout, pr := k, layout, pr
-					n := k.size(quick)
+					n := k.Size(quick)
 					cells = append(cells, harness.Cell{
-						Exp: "EXP13", Label: k.name + "/" + layout.String(), Exclusive: true,
+						Exp: "EXP13", Label: k.Name + "/" + layout.String(), Exclusive: true,
 						Run: func() []harness.Row {
-							work := k.setup(n, seed)
+							work := k.Setup(n, seed)
 							pool := rt.NewPoolLayout(pr, rt.Random, layout)
 							start := time.Now()
-							pool.Run(work.run)
+							pool.Run(work.Run)
 							el := time.Since(start)
 							return []harness.Row{{
-								Exp: "EXP13", Algo: k.name, N: int64(n), P: pr,
+								Exp: "EXP13", Algo: k.Name, N: int64(n), P: pr,
 								Sched: "rt", Padded: layout == rt.LayoutPadded,
 								Repeat: rep, Seed: seed,
 								Steals: pool.Steals(), StealAttempts: pool.StealAttempts(),
 								WallNS: el.Nanoseconds(), Volatile: true,
-								Aux3: numCPU(), Note: statusNote(work.verify()),
+								Aux3: numCPU(), Note: statusNote(work.Verify()),
 							}}
 						},
 					})

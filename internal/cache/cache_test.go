@@ -155,3 +155,64 @@ func TestBitsetManyProcs(t *testing.T) {
 		t.Fatalf("victims = %v", victims)
 	}
 }
+
+func TestBackToBackTransfersSerialize(t *testing.T) {
+	// Two transfers of the same block requested at the same instant must
+	// be strictly serialized through busyUntil: the second starts exactly
+	// when the first completes, with the wait equal to the full latency.
+	d := NewDirectory(2)
+	c1 := d.AcquireTransfer(3, 0, 8)
+	c2 := d.AcquireTransfer(3, 0, 8)
+	if c1 != 8 || c2 != 16 {
+		t.Fatalf("back-to-back completions = %d, %d; want 8, 16", c1, c2)
+	}
+	if wait := c2 - 0 - 8; wait != 8 {
+		t.Fatalf("serialization wait = %d, want 8", wait)
+	}
+	// A third request issued after the block went quiet pays no wait.
+	if c3 := d.AcquireTransfer(3, 100, 8); c3 != 108 {
+		t.Fatalf("quiet-block completion = %d, want 108", c3)
+	}
+}
+
+func TestDirectoryPagingBoundaries(t *testing.T) {
+	// Blocks in distinct pages (and at page edges) keep independent state;
+	// the directory must behave identically across shard boundaries.
+	d := NewDirectory(4)
+	blocks := []int64{0, dirPageLen - 1, dirPageLen, 3*dirPageLen + 17}
+	for i, b := range blocks {
+		d.AddSharer(b, i%4)
+		d.AcquireTransfer(b, int64(i), 2)
+	}
+	for i, b := range blocks {
+		if !d.HasSharer(b, i%4) {
+			t.Errorf("block %d lost sharer %d", b, i%4)
+		}
+		if d.BlockTransfers(b) != 1 {
+			t.Errorf("block %d transfers = %d, want 1", b, d.BlockTransfers(b))
+		}
+	}
+	if d.Transfers != int64(len(blocks)) {
+		t.Errorf("total transfers = %d, want %d", d.Transfers, len(blocks))
+	}
+	if b, tr := d.MaxBlockTransfers(); tr != 1 || b != 0 {
+		t.Errorf("max transfers = (%d, %d), want block 0 with 1", b, tr)
+	}
+}
+
+func TestDirectoryReadsDoNotAllocatePages(t *testing.T) {
+	// Read-only queries on untouched blocks must neither allocate shard
+	// pages nor perturb counters.
+	d := NewDirectory(2)
+	far := int64(100 * dirPageLen)
+	if d.HasSharer(far, 0) || d.Sharers(far) != nil || d.BlockTransfers(far) != 0 {
+		t.Error("untouched block reports state")
+	}
+	d.RemoveSharer(far, 0) // no-op on untouched block
+	if len(d.pages) != 0 {
+		t.Errorf("read path allocated %d pages", len(d.pages))
+	}
+	if _, tr := d.MaxBlockTransfers(); tr != 0 {
+		t.Error("empty directory reports transfers")
+	}
+}

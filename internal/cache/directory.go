@@ -2,74 +2,120 @@ package cache
 
 import "math/bits"
 
-// Directory is the global coherence directory.  For every block it tracks the
-// set of cores holding a copy and a busy-until timestamp used to serialize
-// transfers of the same block.  The block delay of Definition 2.2 — the
-// number of times a block moves between caches during an interval — is the
-// per-block transfer count maintained here.
+// Directory is the global coherence directory.  For every block it tracks
+// the set of cores holding a copy and a busy-until timestamp used to
+// serialize transfers of the same block.  The block delay of Definition 2.2
+// — the number of times a block moves between caches during an interval —
+// is the per-block transfer count maintained here.
+//
+// Storage is paged, not a hash map: block indices are dense (mem.Space
+// allocates blocks sequentially from zero), so the directory shards its
+// state into fixed-size pages of flat arrays — one sharer bitset, one
+// busy-until timestamp and one transfer counter per block slot — allocated
+// lazily as the address space grows.  Every access resolves in two index
+// operations with no hashing and no per-block allocation, which is what
+// makes the large EXP14 model-check grids feasible.
 type Directory struct {
-	entries map[int64]*dirEntry
-	nprocs  int
+	pages    []*dirPage
+	nprocs   int
+	setWords int // words per sharer bitset: ⌈nprocs/64⌉
 	// Transfers is the total number of block movements between caches
 	// (cache-to-cache or memory-to-cache after invalidation).
 	Transfers int64
 }
 
-type dirEntry struct {
-	sharers   bitset
-	busyUntil int64
-	transfers int64
+const (
+	// dirPageBits sets the shard granularity: 1<<dirPageBits block slots
+	// per page (4096 blocks ≈ 96 KiB of directory state at p ≤ 64).
+	dirPageBits = 12
+	dirPageLen  = 1 << dirPageBits
+	dirPageMask = dirPageLen - 1
+)
+
+// dirPage is one shard: flat per-block state for dirPageLen blocks.
+type dirPage struct {
+	sharers   []uint64 // dirPageLen × setWords, bitset per block slot
+	busyUntil []int64
+	transfers []int64
 }
 
 // NewDirectory returns a directory for nprocs cores.
 func NewDirectory(nprocs int) *Directory {
-	return &Directory{entries: make(map[int64]*dirEntry), nprocs: nprocs}
+	return &Directory{nprocs: nprocs, setWords: (nprocs + 63) / 64}
 }
 
-func (d *Directory) entry(b int64) *dirEntry {
-	e := d.entries[b]
-	if e == nil {
-		e = &dirEntry{sharers: newBitset(d.nprocs)}
-		d.entries[b] = e
+// page returns the shard holding block b and b's slot within it, allocating
+// the page if grow is set; (nil, 0) if the page does not exist and grow is
+// unset.
+func (d *Directory) page(b int64, grow bool) (*dirPage, int) {
+	pi := int(b >> dirPageBits)
+	if pi >= len(d.pages) {
+		if !grow {
+			return nil, 0
+		}
+		pages := make([]*dirPage, pi+1)
+		copy(pages, d.pages)
+		d.pages = pages
 	}
-	return e
+	pg := d.pages[pi]
+	if pg == nil {
+		if !grow {
+			return nil, 0
+		}
+		pg = &dirPage{
+			sharers:   make([]uint64, dirPageLen*d.setWords),
+			busyUntil: make([]int64, dirPageLen),
+			transfers: make([]int64, dirPageLen),
+		}
+		d.pages[pi] = pg
+	}
+	return pg, int(b & dirPageMask)
+}
+
+// set returns the sharer bitset of the given page slot.
+func (d *Directory) set(pg *dirPage, slot int) bitset {
+	return bitset(pg.sharers[slot*d.setWords : (slot+1)*d.setWords])
 }
 
 // Sharers returns the cores currently holding block b.
 func (d *Directory) Sharers(b int64) []int {
-	e := d.entries[b]
-	if e == nil {
+	pg, slot := d.page(b, false)
+	if pg == nil {
 		return nil
 	}
-	return e.sharers.members()
+	return d.set(pg, slot).members()
 }
 
 // HasSharer reports whether core p holds block b according to the directory.
 func (d *Directory) HasSharer(b int64, p int) bool {
-	e := d.entries[b]
-	return e != nil && e.sharers.has(p)
+	pg, slot := d.page(b, false)
+	return pg != nil && d.set(pg, slot).has(p)
 }
 
 // AddSharer records that core p now holds block b.
-func (d *Directory) AddSharer(b int64, p int) { d.entry(b).sharers.set(p) }
+func (d *Directory) AddSharer(b int64, p int) {
+	pg, slot := d.page(b, true)
+	d.set(pg, slot).set(p)
+}
 
 // RemoveSharer records that core p no longer holds block b (eviction).
 func (d *Directory) RemoveSharer(b int64, p int) {
-	if e := d.entries[b]; e != nil {
-		e.sharers.clear(p)
+	if pg, slot := d.page(b, false); pg != nil {
+		d.set(pg, slot).clear(p)
 	}
 }
 
 // InvalidateOthers removes every sharer of b except keep and returns the
 // list of cores that lost a valid copy.  Called on a write by core keep.
 func (d *Directory) InvalidateOthers(b int64, keep int) []int {
-	e := d.entries[b]
-	if e == nil {
+	pg, slot := d.page(b, false)
+	if pg == nil {
 		return nil
 	}
-	victims := e.sharers.membersExcept(keep)
+	s := d.set(pg, slot)
+	victims := s.membersExcept(keep)
 	for _, p := range victims {
-		e.sharers.clear(p)
+		s.clear(p)
 	}
 	return victims
 }
@@ -80,22 +126,22 @@ func (d *Directory) InvalidateOthers(b int64, keep int) []int {
 // block-delay counter.  It returns the completion time; completion−now−latency
 // is the serialization wait caused by contention on the block.
 func (d *Directory) AcquireTransfer(b int64, now, latency int64) (complete int64) {
-	e := d.entry(b)
+	pg, slot := d.page(b, true)
 	start := now
-	if e.busyUntil > start {
-		start = e.busyUntil
+	if pg.busyUntil[slot] > start {
+		start = pg.busyUntil[slot]
 	}
 	complete = start + latency
-	e.busyUntil = complete
-	e.transfers++
+	pg.busyUntil[slot] = complete
+	pg.transfers[slot]++
 	d.Transfers++
 	return complete
 }
 
 // BlockTransfers returns the block delay (total transfers) recorded for b.
 func (d *Directory) BlockTransfers(b int64) int64 {
-	if e := d.entries[b]; e != nil {
-		return e.transfers
+	if pg, slot := d.page(b, false); pg != nil {
+		return pg.transfers[slot]
 	}
 	return 0
 }
@@ -103,9 +149,14 @@ func (d *Directory) BlockTransfers(b int64) int64 {
 // MaxBlockTransfers returns the largest per-block transfer count and the
 // block that attained it.
 func (d *Directory) MaxBlockTransfers() (block int64, transfers int64) {
-	for b, e := range d.entries {
-		if e.transfers > transfers {
-			block, transfers = b, e.transfers
+	for pi, pg := range d.pages {
+		if pg == nil {
+			continue
+		}
+		for slot, t := range pg.transfers {
+			if t > transfers {
+				block, transfers = int64(pi)<<dirPageBits|int64(slot), t
+			}
 		}
 	}
 	return block, transfers
@@ -113,8 +164,6 @@ func (d *Directory) MaxBlockTransfers() (block int64, transfers int64) {
 
 // bitset is a small dense bitset over core ids.
 type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 
 func (s bitset) has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
 func (s bitset) set(i int)      { s[i>>6] |= 1 << (uint(i) & 63) }

@@ -34,6 +34,7 @@ type Row struct {
 	BlockMisses      int64 // coherence re-fetches (false sharing)
 	UpgradeMisses    int64
 	BlockWait        int64
+	Transfers        int64 // total directory block transfers (Definition 2.2)
 	Steals           int64
 	StealAttempts    int64
 	MaxStealsPerPrio int64
@@ -70,6 +71,7 @@ func Normalize(rows []Row) []Row {
 		if r.Volatile {
 			r.Makespan, r.Work, r.CritPath = 0, 0, 0
 			r.CacheMisses, r.BlockMisses, r.UpgradeMisses, r.BlockWait = 0, 0, 0, 0
+			r.Transfers = 0
 			r.Steals, r.StealAttempts, r.MaxStealsPerPrio = 0, 0, 0
 			r.DistinctPrios, r.Usurpations, r.StackHighWater, r.IdleTime = 0, 0, 0, 0
 			r.Bound, r.Ratio, r.Aux1, r.Aux2, r.Aux3 = 0, 0, 0, 0, 0
@@ -125,6 +127,7 @@ func columns() []column {
 		intCol("block_misses", func(r *Row) *int64 { return &r.BlockMisses }),
 		intCol("upgrade_misses", func(r *Row) *int64 { return &r.UpgradeMisses }),
 		intCol("block_wait", func(r *Row) *int64 { return &r.BlockWait }),
+		intCol("transfers", func(r *Row) *int64 { return &r.Transfers }),
 		intCol("steals", func(r *Row) *int64 { return &r.Steals }),
 		intCol("steal_attempts", func(r *Row) *int64 { return &r.StealAttempts }),
 		intCol("max_steals_per_prio", func(r *Row) *int64 { return &r.MaxStealsPerPrio }),

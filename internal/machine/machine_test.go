@@ -171,3 +171,55 @@ func TestAccessKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestSoleSharerRereadNoTransfer(t *testing.T) {
+	// Transfer-accounting edge: once a core holds a block, re-reading (or
+	// re-writing) it as the sole sharer is a hit and must not move the
+	// block again — the directory transfer count stays at the initial
+	// fetch plus the write's exclusivity acquisition never happening
+	// (no other sharer exists).
+	m := New(cfg(2))
+	a := mem.NewArray(m.Space, 8) // one block
+	p0 := m.Procs[0]
+
+	p0.Read(a.Addr(0)) // cold miss: one transfer
+	if m.Dir.Transfers != 1 {
+		t.Fatalf("transfers after cold fetch = %d, want 1", m.Dir.Transfers)
+	}
+	p0.Read(a.Addr(1))     // hit, same block
+	p0.Read(a.Addr(0))     // hit, same word
+	p0.Write(a.Addr(2), 9) // sole sharer: hit, no upgrade
+	if m.Dir.Transfers != 1 {
+		t.Errorf("transfers after sole-sharer re-accesses = %d, want 1", m.Dir.Transfers)
+	}
+	if p0.Stats.Hits != 3 || p0.Stats.UpgradeMisses != 0 {
+		t.Errorf("hits = %d upgrades = %d, want 3 hits and no upgrade",
+			p0.Stats.Hits, p0.Stats.UpgradeMisses)
+	}
+}
+
+func TestInvalidationRefillCountsOneTransfer(t *testing.T) {
+	// Transfer-accounting edge: an invalidated copy that is refilled from
+	// memory counts exactly one transfer for the refill (the block moved
+	// once), on top of the transfers that installed and stole it.
+	m := New(cfg(2))
+	a := mem.NewArray(m.Space, 8) // one block
+	p0, p1 := m.Procs[0], m.Procs[1]
+
+	p0.Read(a.Addr(0))     // transfer 1: cold fetch into p0
+	p1.Write(a.Addr(1), 5) // transfer 2: cold fetch into p1 (+ invalidates p0)
+	before := m.Dir.Transfers
+	if before != 2 {
+		t.Fatalf("transfers before refill = %d, want 2", before)
+	}
+	p0.Read(a.Addr(0)) // block miss: invalidated copy refilled
+	if got := m.Dir.Transfers - before; got != 1 {
+		t.Errorf("refill counted %d transfers, want exactly 1", got)
+	}
+	if p0.Stats.BlockMisses != 1 {
+		t.Errorf("p0 block misses = %d, want 1", p0.Stats.BlockMisses)
+	}
+	if m.Dir.BlockTransfers(m.Space.Block(a.Addr(0))) != 3 {
+		t.Errorf("per-block delay = %d, want 3", m.Dir.BlockTransfers(m.Space.Block(a.Addr(0))))
+	}
+}

@@ -31,7 +31,10 @@ go test -race ./internal/rt/ ./internal/core/
 echo "== gate: -race over concurrently executing grid cells =="
 # A golden subset at -parallel 8 is the only place experiment cells run
 # concurrently; race-check it without paying for the full suite under -race.
-go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12|EXP13)' ./internal/bench/
+go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12|EXP13|EXP14)' ./internal/bench/
+
+echo "== gate: docs (package comments + markdown links) =="
+bash scripts/check_docs.sh
 
 echo "== quick grid -> $OUT =="
 go run ./cmd/hbpbench -quick -repeats 2 -out "$OUT" > /dev/null
@@ -58,13 +61,22 @@ echo "rows.csv: $nrows rows; summary.csv: $nsum groups; rows.jsonl: $njson lines
 
 head -1 "$rows_csv" | grep -q '^exp,algo,n,p,m,b,' || { echo "unexpected rows.csv header" >&2; exit 1; }
 # every experiment must have produced rows
-for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12 EXP13; do
+for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12 EXP13 EXP14; do
     grep -q "^$e," "$rows_csv" || { echo "no rows for $e" >&2; exit 1; }
 done
 
-echo "== determinism: -canon rows identical at -parallel 1 vs 8 (EXP05) =="
-go run ./cmd/hbpbench -quick -exp EXP05 -parallel 1 -canon -json > "$dir/logs/p1.jsonl"
-go run ./cmd/hbpbench -quick -exp EXP05 -parallel 8 -canon -json > "$dir/logs/p8.jsonl"
-cmp "$dir/logs/p1.jsonl" "$dir/logs/p8.jsonl"
+echo "== determinism: -canon rows identical at -parallel 1 vs 8 (EXP05, EXP14) =="
+for e in EXP05 EXP14; do
+    go run ./cmd/hbpbench -quick -exp "$e" -parallel 1 -canon -json > "$dir/logs/$e.p1.jsonl"
+    go run ./cmd/hbpbench -quick -exp "$e" -parallel 8 -canon -json > "$dir/logs/$e.p8.jsonl"
+    cmp "$dir/logs/$e.p1.jsonl" "$dir/logs/$e.p8.jsonl"
+done
+
+echo "== model check: no EXP14 row outside its envelope =="
+if grep -q "OUT OF ENVELOPE" "$dir/logs/tables.txt"; then
+    echo "EXP14 rows outside the model envelope:" >&2
+    grep "OUT OF ENVELOPE" "$dir/logs/tables.txt" >&2
+    exit 1
+fi
 
 echo "run_all: OK ($dir)"
