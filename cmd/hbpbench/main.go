@@ -5,7 +5,9 @@
 //
 // -list shows each experiment with its kernel-registry backend: "sim"
 // experiments drive the simulated multicore, "real" experiments drive the
-// internal/rt runtime on actual hardware.
+// internal/rt runtime on actual hardware.  The real-backend catalog is the
+// real lowering of the fj-unified kernels (internal/fj), so EXP13 sweeps
+// every kernel ported to the unified frontend automatically.
 //
 //	hbpbench -list
 //	hbpbench -exp EXP06

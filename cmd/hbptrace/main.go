@@ -1,11 +1,15 @@
 // Command hbptrace runs one kernel from the registry on the simulated
 // multicore and dumps the full metric breakdown: per-proc counters, steal
 // histogram by priority, and (with -trace) the measured f(r)/L(r) tables.
-// -algos lists every registered kernel with its backend; only "sim"
-// kernels can be traced (the "real" backend has no simulated counters —
-// run it via hbpbench -exp EXP13).
+// -algos lists every registered kernel sorted by (name, backend) — entries
+// tagged [fj] are lowered from a unified fork-join source and exist under
+// both backends.  Only "sim" entries can be traced (the "real" backend has
+// no simulated counters — run it via hbpbench -exp EXP13); that includes
+// the fj sim lowerings, so `hbptrace -algo matmul` traces the same program
+// text EXP13 times on hardware.
 //
 //	hbptrace -algo "FFT" -n 1024 -p 8
+//	hbptrace -algo matmul -n 32 -p 8       # fj-unified kernel, sim lowering
 //	hbptrace -algo "Scan(M-Sum)" -n 4096 -p 8 -sched rws -trace
 //	hbptrace -algos
 package main
@@ -40,14 +44,20 @@ func main() {
 	flag.Parse()
 
 	if *listOnly {
+		// registry.All is sorted by (name, backend), so this listing is
+		// deterministic and diffable run to run.
 		for _, k := range registry.All() {
+			tag := "    "
+			if k.FJ != nil {
+				tag = "[fj]"
+			}
 			switch k.Backend {
 			case registry.Sim:
 				a := k.Sim
-				fmt.Printf("%-16s %-5s type %-2s f=%-3s L=%-4s sizes %-22s %s\n",
-					a.Name, k.Backend, a.Typ, a.F, a.L, fmt.Sprintf("%v", a.Sizes), k.Desc)
+				fmt.Printf("%-16s %-5s %s type %-2s f=%-3s L=%-4s sizes %-22s %s\n",
+					a.Name, k.Backend, tag, a.Typ, a.F, a.L, fmt.Sprintf("%v", a.Sizes), k.Desc)
 			case registry.Real:
-				fmt.Printf("%-16s %-5s %s\n", k.Name, k.Backend, k.Desc)
+				fmt.Printf("%-16s %-5s %s %s\n", k.Name, k.Backend, tag, k.Desc)
 			}
 		}
 		return

@@ -1,0 +1,77 @@
+package fft
+
+// Unified fork-join source: a recursive decimation-in-time FFT over
+// complex128 written once against internal/fj.  The two half-size transforms
+// recurse as parallel tasks into disjoint halves of the destination (limited
+// access: each slot is written once per level) and the butterfly combine is
+// a parallel loop.  Twiddles are computed on the fly.
+//
+// Cross-backend bit-identity: the recursion tree and the butterfly formulas
+// are identical at every node regardless of where parallelism stops — the
+// leaf cutoff only decides whether the two halves run as parallel tasks or
+// as serial calls — so the sim and real lowerings produce byte-identical
+// spectra even though their grains differ.
+
+import (
+	"math"
+
+	"repro/internal/fj"
+)
+
+// Per-backend transform sizes at or below which recursion runs serially.
+const (
+	FJFFTGrainSim  = 8
+	FJFFTGrainReal = 256
+)
+
+// FJForward computes the in-place forward DFT of data.  data's length must
+// be a power of two.
+func FJForward(c *fj.Ctx, data fj.C128) {
+	n := data.Len()
+	if n&(n-1) != 0 {
+		panic("fft: FJForward requires a power-of-two length")
+	}
+	if n <= 1 {
+		return
+	}
+	src := c.AllocC128(n)
+	c.For(0, n, c.Grain(16, 2048), func(c *fj.Ctx, i int64) {
+		src.Set(c, i, data.Get(c, i))
+	})
+	fjRec(c, data, 0, src, 0, 1, n)
+}
+
+// fjRec writes into dst[dOff : dOff+n) the DFT of the n elements
+// src[sOff], src[sOff+stride], src[sOff+2·stride], …
+func fjRec(c *fj.Ctx, dst fj.C128, dOff int64, src fj.C128, sOff, stride, n int64) {
+	if n == 1 {
+		dst.Set(c, dOff, src.Get(c, sOff))
+		return
+	}
+	h := n / 2
+	left := func(c *fj.Ctx) { fjRec(c, dst, dOff, src, sOff, 2*stride, h) }
+	right := func(c *fj.Ctx) { fjRec(c, dst, dOff+h, src, sOff+stride, 2*stride, h) }
+	parallel := n > c.Grain(FJFFTGrainSim, FJFFTGrainReal)
+	if parallel {
+		c.Parallel(left, right)
+	} else {
+		left(c)
+		right(c)
+	}
+	ang := -2 * math.Pi / float64(n)
+	body := func(c *fj.Ctx, k int64) {
+		w := complex(math.Cos(ang*float64(k)), math.Sin(ang*float64(k)))
+		t := w * dst.Get(c, dOff+h+k)
+		e := dst.Get(c, dOff+k)
+		dst.Set(c, dOff+k, e+t)
+		dst.Set(c, dOff+h+k, e-t)
+		c.Op(1)
+	}
+	if parallel {
+		c.For(0, h, c.Grain(16, 512), body)
+	} else {
+		for k := int64(0); k < h; k++ {
+			body(c, k)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package gather
+
+// Unified fork-join source: the Gather primitive (out[i] = vals[idx[i]],
+// with a sentinel where idx[i] < 0) written once against internal/fj as a
+// parallel map.  Unlike the simulated sort-based EREW Gather above — whose
+// point is the sort-bound cache complexity — the fj kernel reads vals
+// directly, which is how a real machine gathers; running it on *both*
+// backends lets the simulator price exactly that irregular-access shortcut
+// (Θ(n) scattered reads vs the sort bound) while real hardware measures its
+// wall-clock.
+
+import "repro/internal/fj"
+
+// Per-backend leaf lengths of the parallel map.
+const (
+	FJGatherGrainSim  = 32
+	FJGatherGrainReal = 2048
+)
+
+// FJGather computes out[i] = vals[idx[i]] for 0 ≤ i < idx.Len(), writing
+// sentinel where idx[i] < 0.
+func FJGather(c *fj.Ctx, idx, vals, out fj.I64, sentinel int64) {
+	grain := c.Grain(FJGatherGrainSim, FJGatherGrainReal)
+	c.For(0, idx.Len(), grain, func(c *fj.Ctx, i int64) {
+		k := idx.Get(c, i)
+		v := sentinel
+		if k >= 0 {
+			v = vals.Get(c, k)
+		}
+		out.Set(c, i, v)
+	})
+}

@@ -1,0 +1,63 @@
+package listrank
+
+// Unified fork-join source: list ranking by pointer jumping (Wyllie's
+// algorithm) written once against internal/fj.  ⌈log₂ n⌉ double-buffered
+// rounds each halve every node's distance to the tail: rank and successor
+// arrays are read from one generation and written to the next, so all
+// parallel writes are disjoint and the result is deterministic.  O(n log n)
+// work — the work-inefficient classic the simulated LR kernel's
+// independent-set contraction improves on; running both on both backends
+// prices that gap.
+
+import "repro/internal/fj"
+
+// Per-backend leaf lengths of each round's parallel map.
+const (
+	FJRankGrainSim  = 32
+	FJRankGrainReal = 2048
+)
+
+// FJRank ranks the linked list given by succ: succ[i] is the index of i's
+// successor, or −1 for the tail.  rank[i] receives the number of links from
+// i to the tail (the tail gets 0).  succ is not modified.
+func FJRank(c *fj.Ctx, succ, rank fj.I64) {
+	n := succ.Len()
+	if rank.Len() != n {
+		panic("listrank: FJRank length mismatch")
+	}
+	grain := c.Grain(FJRankGrainSim, FJRankGrainReal)
+	nxt := c.AllocI64(n)
+	rank2 := c.AllocI64(n)
+	nxt2 := c.AllocI64(n)
+	c.For(0, n, grain, func(c *fj.Ctx, i int64) {
+		s := succ.Get(c, i)
+		nxt.Set(c, i, s)
+		if s >= 0 {
+			rank.Set(c, i, 1)
+		} else {
+			rank.Set(c, i, 0)
+		}
+	})
+	curR, curS, nextR, nextS := rank, nxt, rank2, nxt2
+	rounds := 0
+	for span := int64(1); span < n; span *= 2 {
+		c.For(0, n, grain, func(c *fj.Ctx, i int64) {
+			r, s := curR.Get(c, i), curS.Get(c, i)
+			if s >= 0 {
+				r += curR.Get(c, s)
+				s = curS.Get(c, s)
+			}
+			nextR.Set(c, i, r)
+			nextS.Set(c, i, s)
+		})
+		curR, curS, nextR, nextS = nextR, nextS, curR, curS
+		rounds++
+	}
+	// The ping-pong leaves the final generation in rank itself after an even
+	// number of rounds; after an odd number it sits in the scratch buffer.
+	if rounds%2 == 1 {
+		c.For(0, n, grain, func(c *fj.Ctx, i int64) {
+			rank.Set(c, i, curR.Get(c, i))
+		})
+	}
+}

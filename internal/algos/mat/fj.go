@@ -1,0 +1,57 @@
+package mat
+
+// Unified fork-join source: the cache-oblivious rectangular transpose of
+// Frigo et al. written once against internal/fj over row-major float64
+// views, recursively halving the longer dimension — the same recursion the
+// simulated Transpose kernel exposes on RM views.  A transpose only moves
+// bits, so the lowerings agree byte-for-byte at any leaf cutoff.
+
+import "repro/internal/fj"
+
+// Per-backend leaf areas (rows·cols at or below which the copy is serial).
+const (
+	FJTGrainSim  = 4
+	FJTGrainReal = 1024
+)
+
+// FJTranspose computes dst = srcᵀ for an r×cols row-major src (dst is
+// cols×r row-major).
+func FJTranspose(c *fj.Ctx, src, dst fj.F64, r, cols int64) {
+	fjT(c, src, dst, 0, r, 0, cols, cols, r)
+}
+
+// fjT transposes the [r0,r1)×[c0,c1) block; sStr and dStr are the row
+// strides of src and dst.
+func fjT(c *fj.Ctx, src, dst fj.F64, r0, r1, c0, c1, sStr, dStr int64) {
+	rows, cols := r1-r0, c1-c0
+	if rows*cols <= c.Grain(FJTGrainSim, FJTGrainReal) {
+		if ss := src.Raw(); ss != nil {
+			ds := dst.Raw()
+			for i := r0; i < r1; i++ {
+				for j := c0; j < c1; j++ {
+					ds[j*dStr+i] = ss[i*sStr+j]
+				}
+			}
+			return
+		}
+		for i := r0; i < r1; i++ {
+			for j := c0; j < c1; j++ {
+				dst.Set(c, j*dStr+i, src.Get(c, i*sStr+j))
+			}
+		}
+		return
+	}
+	if rows >= cols {
+		h := r0 + rows/2
+		c.Parallel(
+			func(c *fj.Ctx) { fjT(c, src, dst, r0, h, c0, c1, sStr, dStr) },
+			func(c *fj.Ctx) { fjT(c, src, dst, h, r1, c0, c1, sStr, dStr) },
+		)
+		return
+	}
+	h := c0 + cols/2
+	c.Parallel(
+		func(c *fj.Ctx) { fjT(c, src, dst, r0, r1, c0, h, sStr, dStr) },
+		func(c *fj.Ctx) { fjT(c, src, dst, r0, r1, h, c1, sStr, dStr) },
+	)
+}

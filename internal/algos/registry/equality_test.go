@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/machine"
+	"repro/internal/rt"
+	"repro/internal/sched"
+)
+
+// eqSizes picks the gate size per kernel: above the kernel's *real* leaf
+// grain, so the real lowering actually forks (TestCrossBackendEquality
+// asserts it does) while a simulated run at the same size stays affordable.
+// The registry's SimSizes are below these on purpose — they size hbptrace
+// defaults, not this gate.
+var eqSizes = map[string]int64{
+	"matmul":    64,      // real grain 32
+	"strassen":  64,      // real grain 32
+	"sortx":     1 << 12, // real sort grain 2048
+	"scan":      1 << 13, // real block grain 4096
+	"fft":       512,     // real leaf 256
+	"transpose": 64,      // real leaf area 1024 = 32²
+	"gather":    1 << 12, // real map grain 2048
+	"listrank":  1 << 12, // real map grain 2048
+}
+
+// TestCrossBackendEquality is the single-source gate of the fj refactor:
+// every fj-unified kernel runs on seeded inputs through BOTH lowerings —
+// the simulated multicore under PWS and RWS, and the real rt runtime under
+// the padded and compact layouts at several worker counts — and every run
+// must produce byte-identical output words.  The kernels are built for
+// this (exact integer arithmetic, or cutoff-invariant floating-point
+// reduction orders), so any divergence is a lowering bug, not noise.
+func TestCrossBackendEquality(t *testing.T) {
+	const seed = 42
+	for _, k := range FJKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			n, ok := eqSizes[k.Name]
+			if !ok {
+				t.Fatalf("no equality-gate size for %q — add it to eqSizes", k.Name)
+			}
+
+			// Reference: the sim lowering under PWS on 4 simulated cores.
+			ref := runSimOnce(t, k, n, seed, "pws")
+			if rws := runSimOnce(t, k, n, seed, "rws"); !wordsEqual(ref, rws) {
+				t.Errorf("sim PWS and sim RWS outputs differ at n=%d", n)
+			}
+
+			for _, layout := range []rt.Layout{rt.LayoutPadded, rt.LayoutCompact} {
+				for _, p := range []int{1, 2, 4} {
+					env := fj.NewRealEnv()
+					w := k.Setup(env, n, seed)
+					pool := rt.NewPoolLayout(p, rt.Random, layout)
+					fj.RunReal(pool, w.Root)
+					if pool.Executed() <= 1 {
+						t.Errorf("real %s p=%d: no forks at n=%d — the gate is not exercising the parallel path",
+							layout, p, n)
+					}
+					if !w.Verify() {
+						t.Errorf("real %s p=%d: verifier failed at n=%d", layout, p, n)
+					}
+					if got := w.Output(); !wordsEqual(ref, got) {
+						t.Errorf("real %s p=%d: output differs from sim at n=%d (%d words)",
+							layout, p, n, len(got))
+					}
+				}
+			}
+		})
+	}
+}
+
+func runSimOnce(t *testing.T, k FJKernel, n int64, seed uint64, schedName string) []int64 {
+	t.Helper()
+	var s core.Scheduler = sched.NewPWS()
+	if schedName == "rws" {
+		s = sched.NewRWS(12345)
+	}
+	m := machine.New(machine.Default(4))
+	w := k.Setup(fj.NewSimEnv(m), n, seed)
+	eng := core.NewEngine(m, s, core.Options{})
+	eng.Run(fj.SimNode(k.InputWords(n), k.Name, w.Root))
+	if !w.Verify() {
+		t.Errorf("sim %s: verifier failed at n=%d", schedName, n)
+	}
+	return w.Output()
+}
+
+func wordsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -7,20 +7,28 @@
 // (internal/model) all resolve kernels through this package, so the
 // scenario surface has one source of truth.
 //
-// Backends:
+// Two kinds of entries feed the catalog:
 //
-//   - Sim: a Table-1 HBP algorithm (Section 3) built as a core.Node tree on
-//     a fresh simulated machine; measurements are the paper's quantities
-//     (cache misses, block misses, steals, makespan in time units).
-//   - Real: a goroutine fork-join kernel on internal/rt; measurements are
-//     wall-clock and runtime steal counters, with a per-run output check.
+//   - Table-1 sim kernels (sim.go): the paper's HBP algorithms built as
+//     hand-shaped core.Node trees with the exact structural parameters
+//     (locals on the execution stack, up-tree layouts, gapping) the bound
+//     lemmas analyze.  Sim backend only.
+//   - fj-unified kernels (fj.go): one fork-join source per kernel, written
+//     against internal/fj and registered under BOTH backends — the sim
+//     lowering builds a core.Node tree for the simulated multicore, the
+//     real lowering schedules the identical source on internal/rt.  The
+//     cross-backend equality gate holds the two lowerings to byte-identical
+//     outputs.
 //
-// Input generation is seeded (FillRand, RandPermList, an LCG) so repeats
-// are distinct yet reproducible; seed 0 reproduces the historical fixed
-// inputs of the earliest experiments.
+// All returns the union sorted by (name, backend), so listings and -canon
+// diffs are byte-stable.  Input generation is seeded (FillRand,
+// RandPermList, an LCG) so repeats are distinct yet reproducible; seed 0
+// reproduces the historical fixed inputs of the earliest experiments.
 package registry
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -75,27 +83,39 @@ type RealKernel struct {
 	Setup func(n int, seed uint64) RealWork
 }
 
-// Kernel is one registry entry: a (name, backend) key plus exactly one of
-// the backend-specific descriptors.
+// Kernel is one registry entry: a (name, backend) key plus the
+// backend-specific descriptor for that lowering.  FJ is non-nil on both
+// entries of an fj-unified kernel (the marker listings print), nil on the
+// hand-built Table-1 sim kernels.
 type Kernel struct {
 	Name    string
 	Backend Backend
 	Desc    string
 	Sim     *SimKernel  // non-nil iff Backend == Sim
 	Real    *RealKernel // non-nil iff Backend == Real
+	FJ      *FJKernel   // non-nil iff the entry is lowered from a unified fj source
 }
 
-// All returns every registered kernel, sim backend first, in catalog order.
+// All returns every registered kernel — the Table-1 sim catalog plus both
+// lowerings of every fj-unified kernel — sorted by (name, backend) so the
+// listing order is deterministic and -canon comparisons stay byte-stable.
 func All() []Kernel {
 	var out []Kernel
 	for i := range simCatalog {
 		k := &simCatalog[i]
 		out = append(out, Kernel{Name: k.Name, Backend: Sim, Desc: k.Desc, Sim: k})
 	}
-	for i := range realCatalog {
-		k := &realCatalog[i]
-		out = append(out, Kernel{Name: k.Name, Backend: Real, Desc: k.Desc, Real: k})
+	for i := range fjCatalog {
+		f := &fjCatalog[i]
+		out = append(out, Kernel{Name: f.Name, Backend: Sim, Desc: f.Desc, Sim: f.simKernel(), FJ: f})
+		out = append(out, Kernel{Name: f.Name, Backend: Real, Desc: f.Desc, Real: f.realKernel(), FJ: f})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Backend < out[j].Backend
+	})
 	return out
 }
 
@@ -109,11 +129,23 @@ func Find(name string, b Backend) (Kernel, bool) {
 	return Kernel{}, false
 }
 
-// SimKernels returns the simulated Table-1 catalog in order.
+// SimKernels returns the hand-built Table-1 catalog in paper order (the
+// sweep set of the sim experiments and the analytical model; the fj sim
+// lowerings are additional sim entries reachable via All and Find).
 func SimKernels() []SimKernel { return append([]SimKernel(nil), simCatalog...) }
 
-// RealKernels returns the real-hardware kernel suite in order.
-func RealKernels() []RealKernel { return append([]RealKernel(nil), realCatalog...) }
+// RealKernels returns the real-hardware kernel suite in catalog order:
+// the real lowering of every fj-unified kernel.
+func RealKernels() []RealKernel {
+	out := make([]RealKernel, 0, len(fjCatalog))
+	for i := range fjCatalog {
+		out = append(out, *fjCatalog[i].realKernel())
+	}
+	return out
+}
+
+// FJKernels returns the fj-unified catalog in order.
+func FJKernels() []FJKernel { return append([]FJKernel(nil), fjCatalog...) }
 
 // LCG is a tiny deterministic generator for reproducible inputs.
 type LCG uint64

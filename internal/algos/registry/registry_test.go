@@ -33,8 +33,32 @@ func TestRegistryKeys(t *testing.T) {
 	if len(SimKernels()) != 13 {
 		t.Errorf("sim catalog has %d kernels, want 13 (Table 1)", len(SimKernels()))
 	}
-	if len(RealKernels()) != 5 {
-		t.Errorf("real catalog has %d kernels, want 5", len(RealKernels()))
+	if len(RealKernels()) != 8 {
+		t.Errorf("real catalog has %d kernels, want 8", len(RealKernels()))
+	}
+	if len(FJKernels()) != 8 {
+		t.Errorf("fj catalog has %d kernels, want 8", len(FJKernels()))
+	}
+}
+
+// TestAllSortedAndFJPaired pins the listing contract: All is sorted by
+// (name, backend), and every fj kernel appears exactly twice — once per
+// backend — with the FJ marker set on both entries.
+func TestAllSortedAndFJPaired(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		a, b := all[i-1], all[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Backend >= b.Backend) {
+			t.Errorf("All() not sorted at %d: %s/%s before %s/%s", i, a.Name, a.Backend, b.Name, b.Backend)
+		}
+	}
+	for _, f := range FJKernels() {
+		for _, backend := range []Backend{Sim, Real} {
+			k, ok := Find(f.Name, backend)
+			if !ok || k.FJ == nil {
+				t.Errorf("%s/%s: fj kernel missing or unmarked", f.Name, backend)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+package scan
+
+// Unified fork-join source: inclusive prefix sums written once against
+// internal/fj.  The classical three-phase block algorithm — a parallel
+// up-sweep of block sums, a serial exclusive scan over the (few) block sums,
+// and a parallel down-sweep that rescans each block with its offset.  Every
+// worker-visible write lands in a block-contiguous range, the layout
+// discipline the paper's Type-1 analysis assumes.  int64 addition is exact,
+// so the lowerings agree at any block grain.
+
+import "repro/internal/fj"
+
+// Per-backend block lengths.
+const (
+	FJPrefixGrainSim  = 64
+	FJPrefixGrainReal = 4096
+)
+
+// FJPrefix computes out[i] = in[0] + … + in[i] in parallel.  in and out may
+// be the same view.
+func FJPrefix(c *fj.Ctx, in, out fj.I64) {
+	n := in.Len()
+	if out.Len() != n {
+		panic("scan: FJPrefix length mismatch")
+	}
+	grain := c.Grain(FJPrefixGrainSim, FJPrefixGrainReal)
+	nb := (n + grain - 1) / grain
+	if nb <= 1 {
+		fjPrefixSerial(c, in, out, 0)
+		return
+	}
+	sums := c.AllocI64(nb)
+	c.For(0, nb, 1, func(c *fj.Ctx, bi int64) {
+		lo, hi := bi*grain, min((bi+1)*grain, n)
+		var s int64
+		if is := in.Raw(); is != nil {
+			for _, v := range is[lo:hi] {
+				s += v
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				s += in.Get(c, i)
+			}
+		}
+		sums.Set(c, bi, s)
+	})
+	var acc int64
+	for bi := int64(0); bi < nb; bi++ {
+		s := sums.Get(c, bi)
+		sums.Set(c, bi, acc)
+		acc += s
+	}
+	c.For(0, nb, 1, func(c *fj.Ctx, bi int64) {
+		lo, hi := bi*grain, min((bi+1)*grain, n)
+		fjPrefixSerial(c, in.Slice(lo, hi), out.Slice(lo, hi), sums.Get(c, bi))
+	})
+}
+
+func fjPrefixSerial(c *fj.Ctx, in, out fj.I64, offset int64) {
+	if is := in.Raw(); is != nil {
+		os := out.Raw()
+		s := offset
+		for i, v := range is {
+			s += v
+			os[i] = s
+		}
+		return
+	}
+	s := offset
+	for i := int64(0); i < in.Len(); i++ {
+		s += in.Get(c, i)
+		out.Set(c, i, s)
+	}
+}

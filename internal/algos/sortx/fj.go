@@ -1,0 +1,141 @@
+package sortx
+
+// Unified fork-join source: parallel merge sort over int64 keys written once
+// against internal/fj, mirroring the package's simulated Type-2 HBP merge
+// sort.  Recursive halves sort into ping-ponged buffers (every address
+// written once per buffer — the limited-access discipline) and are merged by
+// merge-path splitting: the larger run is cut at its median, the cut's rank
+// in the other run is found by binary search, and the two independent merges
+// recurse in parallel.  Keys are exact int64, so the lowerings agree
+// byte-for-byte at any leaf cutoff.
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/fj"
+)
+
+// Per-backend leaf cutoffs: run length at or below which a leaf sorts
+// serially, and combined length at or below which merges are serial.
+const (
+	FJSortGrainSim   = 16
+	FJSortGrainReal  = 2048
+	FJMergeGrainSim  = 32
+	FJMergeGrainReal = 4096
+)
+
+// FJSort sorts data ascending in parallel.
+func FJSort(c *fj.Ctx, data fj.I64) {
+	n := data.Len()
+	if n <= c.Grain(FJSortGrainSim, FJSortGrainReal) {
+		fjSortLeaf(c, data)
+		return
+	}
+	buf := c.AllocI64(n)
+	fjSortRec(c, data, buf, false)
+}
+
+// fjSortRec sorts src; the sorted output lands in buf when toBuf is set and
+// in src otherwise.  Children produce their halves in the opposite array,
+// which the final merge then ping-pongs back.
+func fjSortRec(c *fj.Ctx, src, buf fj.I64, toBuf bool) {
+	n := src.Len()
+	if n <= c.Grain(FJSortGrainSim, FJSortGrainReal) {
+		fjSortLeaf(c, src)
+		if toBuf {
+			for i := int64(0); i < n; i++ {
+				buf.Set(c, i, src.Get(c, i))
+			}
+		}
+		return
+	}
+	mid := n / 2
+	c.Parallel(
+		func(c *fj.Ctx) { fjSortRec(c, src.Slice(0, mid), buf.Slice(0, mid), !toBuf) },
+		func(c *fj.Ctx) { fjSortRec(c, src.Slice(mid, n), buf.Slice(mid, n), !toBuf) },
+	)
+	if toBuf {
+		fjMerge(c, src.Slice(0, mid), src.Slice(mid, n), buf)
+	} else {
+		fjMerge(c, buf.Slice(0, mid), buf.Slice(mid, n), src)
+	}
+}
+
+// fjMerge merges sorted runs a and b into out by parallel merge-path
+// splitting.
+func fjMerge(c *fj.Ctx, a, b, out fj.I64) {
+	if a.Len()+b.Len() <= c.Grain(FJMergeGrainSim, FJMergeGrainReal) {
+		fjMergeSerial(c, a, b, out)
+		return
+	}
+	if a.Len() < b.Len() {
+		a, b = b, a
+	}
+	i := a.Len() / 2
+	pivot := a.Get(c, i)
+	j := int64(sort.Search(int(b.Len()), func(k int) bool { return b.Get(c, int64(k)) >= pivot }))
+	c.Parallel(
+		func(c *fj.Ctx) { fjMerge(c, a.Slice(0, i), b.Slice(0, j), out.Slice(0, i+j)) },
+		func(c *fj.Ctx) { fjMerge(c, a.Slice(i, a.Len()), b.Slice(j, b.Len()), out.Slice(i+j, out.Len())) },
+	)
+}
+
+// fjSortLeaf sorts a run serially: slices.Sort on the native backing on the
+// real backend, insertion sort through charged accesses under the simulator
+// (leaves are small there, and the sorted values are identical either way).
+func fjSortLeaf(c *fj.Ctx, v fj.I64) {
+	if s := v.Raw(); s != nil {
+		slices.Sort(s)
+		return
+	}
+	n := v.Len()
+	for i := int64(1); i < n; i++ {
+		x := v.Get(c, i)
+		j := i - 1
+		for j >= 0 && v.Get(c, j) > x {
+			v.Set(c, j+1, v.Get(c, j))
+			j--
+		}
+		v.Set(c, j+1, x)
+	}
+}
+
+func fjMergeSerial(c *fj.Ctx, a, b, out fj.I64) {
+	if as := a.Raw(); as != nil {
+		bs, os := b.Raw(), out.Raw()
+		i, j, k := 0, 0, 0
+		for i < len(as) && j < len(bs) {
+			if as[i] <= bs[j] {
+				os[k] = as[i]
+				i++
+			} else {
+				os[k] = bs[j]
+				j++
+			}
+			k++
+		}
+		copy(os[k:], as[i:])
+		copy(os[k+len(as)-i:], bs[j:])
+		return
+	}
+	var i, j, k int64
+	for i < a.Len() && j < b.Len() {
+		if x, y := a.Get(c, i), b.Get(c, j); x <= y {
+			out.Set(c, k, x)
+			i++
+		} else {
+			out.Set(c, k, y)
+			j++
+		}
+		k++
+	}
+	for ; i < a.Len(); i++ {
+		out.Set(c, k, a.Get(c, i))
+		k++
+	}
+	for ; j < b.Len(); j++ {
+		out.Set(c, k, b.Get(c, j))
+		k++
+	}
+}

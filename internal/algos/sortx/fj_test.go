@@ -1,0 +1,67 @@
+package sortx
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/machine"
+	"repro/internal/rt"
+	"repro/internal/sched"
+)
+
+func fillKeys(v fj.I64, seed uint64) {
+	s := seed*2654435761 + 1
+	for i := int64(0); i < v.Len(); i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		v.Store(i, int64(s>>33)%(1<<30))
+	}
+}
+
+func sortedRef(v fj.I64) []int64 {
+	ref := make([]int64, v.Len())
+	for i := range ref {
+		ref[i] = v.Load(int64(i))
+	}
+	slices.Sort(ref)
+	return ref
+}
+
+func TestFJSortRealMatchesSerial(t *testing.T) {
+	for _, n := range []int64{0, 1, FJSortGrainReal - 1, FJSortGrainReal, 1 << 16} {
+		for _, layout := range []rt.Layout{rt.LayoutPadded, rt.LayoutCompact} {
+			for _, p := range []int{1, 4} {
+				env := fj.NewRealEnv()
+				data := env.I64(n)
+				fillKeys(data, uint64(n)+uint64(p))
+				want := sortedRef(data)
+				pool := rt.NewPoolLayout(p, rt.Random, layout)
+				fj.RunReal(pool, func(c *fj.Ctx) { FJSort(c, data) })
+				for i := range want {
+					if data.Load(int64(i)) != want[i] {
+						t.Fatalf("n=%d layout=%v p=%d: out[%d] = %d, want %d",
+							n, layout, p, i, data.Load(int64(i)), want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFJSortSimMatchesSerial(t *testing.T) {
+	const n = 1024
+	m := machine.New(machine.Default(4))
+	env := fj.NewSimEnv(m)
+	data := env.I64(n)
+	fillKeys(data, 99)
+	want := sortedRef(data)
+	fj.RunSim(m, sched.NewPWS(), core.Options{}, 2*n, "sortx", func(c *fj.Ctx) {
+		FJSort(c, data)
+	})
+	for i := range want {
+		if data.Load(int64(i)) != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, data.Load(int64(i)), want[i])
+		}
+	}
+}

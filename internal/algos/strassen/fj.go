@@ -1,0 +1,158 @@
+package strassen
+
+// Unified fork-join source: Strassen's recursion written once against
+// internal/fj.  As in the simulated Table-1 kernel, the seven recursive
+// products land in fresh subarrays (limited access) and run as parallel
+// tasks; quadrant extraction, the T/U operand sums and the final combine are
+// serial O(n²) passes dominated by the O(n^2.81) recursive work.
+//
+// Elements are int64: Strassen's bracketing differs with the leaf cutoff,
+// and the sim and real grains differ, so exact integer arithmetic is what
+// makes the two lowerings byte-identical (the float kernel of this family is
+// matmul's Depth-n-MM, whose summation order is cutoff-invariant).
+
+import "repro/internal/fj"
+
+// Per-backend leaf side lengths: below them the product is the classical
+// triple loop.  The real grain is 32 (not the 64 of the deleted
+// hand-written kernel) so the cross-backend equality gate can afford a
+// simulated run at a size that still forks on real hardware.
+const (
+	FJGrainSim  = 4
+	FJGrainReal = 32
+)
+
+// FJMul computes out = a·b for n×n row-major int64 matrices (n a power of
+// two) held in fj views.
+func FJMul(c *fj.Ctx, a, b, out fj.I64, n int64) {
+	if n&(n-1) != 0 {
+		panic("strassen: FJMul requires a power-of-two side")
+	}
+	p := fjMulRec(c, a, b, n)
+	copyAll(c, p, out)
+}
+
+func fjMulRec(c *fj.Ctx, a, b fj.I64, n int64) fj.I64 {
+	if n <= c.Grain(FJGrainSim, FJGrainReal) {
+		return fjMulClassical(c, a, b, n)
+	}
+	h := n / 2
+	a11, a12, a21, a22 := fjQuadrants(c, a, n)
+	b11, b12, b21, b22 := fjQuadrants(c, b, n)
+
+	// The seven Strassen operand pairs.
+	ops := [7][2]fj.I64{
+		{fjAdd(c, a11, a22), fjAdd(c, b11, b22)}, // p0 = (a11+a22)(b11+b22)
+		{fjAdd(c, a21, a22), b11},                // p1 = (a21+a22)·b11
+		{a11, fjSub(c, b12, b22)},                // p2 = a11·(b12−b22)
+		{a22, fjSub(c, b21, b11)},                // p3 = a22·(b21−b11)
+		{fjAdd(c, a11, a12), b22},                // p4 = (a11+a12)·b22
+		{fjSub(c, a21, a11), fjAdd(c, b11, b12)}, // p5 = (a21−a11)(b11+b12)
+		{fjSub(c, a12, a22), fjAdd(c, b21, b22)}, // p6 = (a12−a22)(b21+b22)
+	}
+	var p [7]fj.I64
+	var hs [6]fj.Handle
+	for i := 1; i < 7; i++ {
+		i := i
+		hs[i-1] = c.Fork(func(c *fj.Ctx) { p[i] = fjMulRec(c, ops[i][0], ops[i][1], h) })
+	}
+	p[0] = fjMulRec(c, ops[0][0], ops[0][1], h)
+	for i := 5; i >= 0; i-- { // LIFO joins, as the fj discipline requires
+		c.Join(hs[i])
+	}
+
+	out := c.AllocI64(n * n)
+	writeQuad(c, out, n, 0, 0, fjCombine4(c, p[0], p[3], p[4], p[6])) // c11 = p0+p3−p4+p6
+	writeQuad(c, out, n, 0, h, fjAdd(c, p[2], p[4]))                  // c12 = p2+p4
+	writeQuad(c, out, n, h, 0, fjAdd(c, p[1], p[3]))                  // c21 = p1+p3
+	writeQuad(c, out, n, h, h, fjCombine4(c, p[0], p[2], p[1], p[5])) // c22 = p0+p2−p1+p5
+	return out
+}
+
+// fjQuadrants copies the four h×h quadrants of an n×n row-major matrix into
+// fresh contiguous matrices.
+func fjQuadrants(c *fj.Ctx, m fj.I64, n int64) (q11, q12, q21, q22 fj.I64) {
+	h := n / 2
+	q11, q12 = c.AllocI64(h*h), c.AllocI64(h*h)
+	q21, q22 = c.AllocI64(h*h), c.AllocI64(h*h)
+	for i := int64(0); i < h; i++ {
+		for j := int64(0); j < h; j++ {
+			q11.Set(c, i*h+j, m.Get(c, i*n+j))
+			q12.Set(c, i*h+j, m.Get(c, i*n+h+j))
+			q21.Set(c, i*h+j, m.Get(c, (i+h)*n+j))
+			q22.Set(c, i*h+j, m.Get(c, (i+h)*n+h+j))
+		}
+	}
+	return
+}
+
+func writeQuad(c *fj.Ctx, out fj.I64, n, ri, ci int64, q fj.I64) {
+	h := n / 2
+	for i := int64(0); i < h; i++ {
+		for j := int64(0); j < h; j++ {
+			out.Set(c, (ri+i)*n+ci+j, q.Get(c, i*h+j))
+		}
+	}
+}
+
+func fjAdd(c *fj.Ctx, a, b fj.I64) fj.I64 {
+	out := c.AllocI64(a.Len())
+	for i := int64(0); i < a.Len(); i++ {
+		out.Set(c, i, a.Get(c, i)+b.Get(c, i))
+	}
+	return out
+}
+
+func fjSub(c *fj.Ctx, a, b fj.I64) fj.I64 {
+	out := c.AllocI64(a.Len())
+	for i := int64(0); i < a.Len(); i++ {
+		out.Set(c, i, a.Get(c, i)-b.Get(c, i))
+	}
+	return out
+}
+
+// fjCombine4 returns w+x−y+z elementwise.
+func fjCombine4(c *fj.Ctx, w, x, y, z fj.I64) fj.I64 {
+	out := c.AllocI64(w.Len())
+	for i := int64(0); i < w.Len(); i++ {
+		out.Set(c, i, w.Get(c, i)+x.Get(c, i)-y.Get(c, i)+z.Get(c, i))
+	}
+	return out
+}
+
+func copyAll(c *fj.Ctx, src, dst fj.I64) {
+	for i := int64(0); i < src.Len(); i++ {
+		dst.Set(c, i, src.Get(c, i))
+	}
+}
+
+// fjMulClassical is the serial base case: the triple loop on native slices
+// on the real backend, the identical loop through charged accesses under
+// the simulator.
+func fjMulClassical(c *fj.Ctx, a, b fj.I64, n int64) fj.I64 {
+	out := c.AllocI64(n * n)
+	if as := a.Raw(); as != nil {
+		bs, os := b.Raw(), out.Raw()
+		for i := int64(0); i < n; i++ {
+			orow := os[i*n : (i+1)*n]
+			for k := int64(0); k < n; k++ {
+				av := as[i*n+k]
+				brow := bs[k*n : (k+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return out
+	}
+	for i := int64(0); i < n; i++ {
+		for k := int64(0); k < n; k++ {
+			av := a.Get(c, i*n+k)
+			for j := int64(0); j < n; j++ {
+				out.Set(c, i*n+j, out.Get(c, i*n+j)+av*b.Get(c, k*n+j))
+				c.Op(1)
+			}
+		}
+	}
+	return out
+}

@@ -10,12 +10,16 @@ import (
 	"repro/internal/rt"
 )
 
-// EXP13 is the real-hardware false-sharing ablation: the registry's five
-// real kernels (matmul, strassen, sortx, scan, fft) run on the internal/rt
-// runtime with its hot worker/task state laid out either padded (one cache
-// line per contended word, the paper's §4.7 discipline applied to the
-// scheduler itself) or compact (all workers' deque indices, counters and
-// task frames packed so independent writes share lines).  On a multi-core
+// EXP13 is the real-hardware false-sharing ablation: every real-backend
+// kernel in the registry — the real lowering of the eight fj-unified
+// sources (matmul, strassen, sortx, scan, fft, transpose, gather,
+// listrank) — runs on the internal/rt runtime with its hot worker/task
+// state laid out either padded (one cache line per contended word, the
+// paper's §4.7 discipline applied to the scheduler itself) or compact (all
+// workers' deque indices, counters and task frames packed so independent
+// writes share lines).  The sweep picks the catalog up from
+// registry.RealKernels, so kernels ported to fj join it automatically.
+// On a multi-core
 // machine the compact arm pays coherence traffic for every push, steal and
 // completion — the block-miss penalty the paper's lemmas bound,
 // demonstrated on silicon rather than in the simulator.  Cells are

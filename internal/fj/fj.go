@@ -1,0 +1,139 @@
+// Package fj is the backend-neutral fork-join frontend: an algorithm written
+// once against fj.Ctx and the typed views of this package runs unchanged on
+// the simulated multicore of internal/machine (where every element access is
+// charged through the cache and coherence model) and on real hardware via the
+// internal/rt work-stealing runtime (where the same accesses compile to
+// native slice indexing).  This makes the program text itself resource
+// oblivious, the paper's thesis applied to the repo: one kernel source earns
+// its measurements on both machines.
+//
+// A computation is a function func(*Ctx).  Ctx offers structured fork-join
+// parallelism — Fork/Join with a LIFO join discipline, Parallel, and a
+// binary-splitting parallel For — plus per-backend leaf cutoffs (Grain) so
+// that real execution keeps tight inner loops while the simulator still
+// observes a deep recursion.  Data lives in the typed views of view.go
+// (I64, F64, C128), allocated either up front through an Env or mid-run
+// through Ctx.AllocI64 and friends (per-core block-aligned allocations on the
+// simulator, plain make on real hardware).
+//
+// Lowerings:
+//
+//   - sim.go converts the direct-style computation into a core.Node tree
+//     executed by the deterministic engine under an internal/sched scheduler
+//     (PWS or RWS), by running each task on a coroutine goroutine that yields
+//     at every Fork and Join.
+//   - real.go schedules the same computation on an rt.Pool under either
+//     memory layout (padded or compact).
+//
+// Portability contract: a forked function must use only the Ctx it receives
+// (never a captured outer Ctx), and joins must be LIFO — each Join targets
+// the most recently forked, not-yet-joined task.  Parallel and For obey the
+// discipline by construction; the sim lowering enforces it and panics on
+// violations.  Kernels that want bit-identical outputs across backends must
+// keep their floating-point reduction order independent of the leaf cutoff
+// (see internal/algos/matmul for the pattern).
+package fj
+
+import (
+	"repro/internal/core"
+	"repro/internal/rt"
+)
+
+// Ctx is the execution context handed to every fj task.  Exactly one backend
+// is active: rc on real hardware, st/sc under the simulator.
+type Ctx struct {
+	// Real backend: the rt worker context.
+	rc *rt.Ctx
+
+	// Sim backend: the coroutine this task runs on and the core context the
+	// engine charged the current action to (refreshed at every resume).
+	st   *simTask
+	sc   *core.Ctx
+	open int // unjoined forks, for the LIFO discipline check
+}
+
+// Real reports whether the computation is running on real hardware (true) or
+// on the simulated multicore (false).
+func (c *Ctx) Real() bool { return c.rc != nil }
+
+// Grain returns the backend-appropriate leaf cutoff: sim under the
+// simulator, real on hardware.  Simulator grains stay small so the model
+// observes the full recursion; real grains stay large enough to amortize
+// scheduling over tight serial loops.
+func (c *Ctx) Grain(sim, real int64) int64 {
+	if c.Real() {
+		return real
+	}
+	return sim
+}
+
+// Op charges n units of pure computation to the simulated core's clock; on
+// real hardware it is a no-op (the work is the work).
+func (c *Ctx) Op(n int64) {
+	if c.sc != nil {
+		c.sc.Op(n)
+	}
+}
+
+// Handle joins a forked task.
+type Handle struct {
+	rh  rt.Handle // real backend
+	idx int       // sim backend: fork depth for the LIFO check
+}
+
+// Fork schedules fn as a stealable parallel task and returns its join
+// handle.  The caller keeps executing; joins must be LIFO (join the most
+// recent unjoined fork first) so the computation stays series-parallel —
+// the shape both lowerings, and the paper's HBP model, require.
+func (c *Ctx) Fork(fn func(*Ctx)) Handle {
+	if c.rc != nil {
+		return Handle{rh: c.rc.Fork(func(rc *rt.Ctx) { fn(&Ctx{rc: rc}) })}
+	}
+	return c.forkSim(fn)
+}
+
+// Join waits for a forked task to complete, helping with other work
+// meanwhile (real) or closing the parallel region in the engine (sim).
+func (c *Ctx) Join(h Handle) {
+	if c.rc != nil {
+		c.rc.Join(h.rh)
+		return
+	}
+	c.joinSim(h)
+}
+
+// Parallel runs a and b as parallel subtasks and returns when both finish.
+func (c *Ctx) Parallel(a, b func(*Ctx)) {
+	if c.rc != nil {
+		// Delegate to rt so its depth bookkeeping (used by the Priority
+		// victim rule) sees the same tree a hand-written kernel would build.
+		c.rc.Parallel(
+			func(rc *rt.Ctx) { a(&Ctx{rc: rc}) },
+			func(rc *rt.Ctx) { b(&Ctx{rc: rc}) },
+		)
+		return
+	}
+	h := c.forkSim(b)
+	a(c)
+	c.joinSim(h)
+}
+
+// For runs body(c, i) for lo ≤ i < hi with binary splitting down to grain
+// (typically c.Grain(sim, real)); at or below the grain the indices run
+// serially in ascending order on the calling task.
+func (c *Ctx) For(lo, hi, grain int64, body func(c *Ctx, i int64)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		for i := lo; i < hi; i++ {
+			body(c, i)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	c.Parallel(
+		func(c *Ctx) { c.For(lo, mid, grain, body) },
+		func(c *Ctx) { c.For(mid, hi, grain, body) },
+	)
+}

@@ -1,0 +1,19 @@
+package fj
+
+import "repro/internal/rt"
+
+// Real lowering: on hardware an fj computation is just the rt runtime with a
+// thin adapter — Fork/Join/Parallel delegate to rt.Ctx, view accesses index
+// native slices.  The adapter allocates one small Ctx per task; the overhead
+// guard in the root bench_test.go keeps it honest against the hand-written
+// rt kernels it replaced.
+
+// RunReal executes root on the pool and blocks until it completes.
+func RunReal(pool *rt.Pool, root func(*Ctx)) {
+	pool.Run(func(rc *rt.Ctx) { root(&Ctx{rc: rc}) })
+}
+
+// RunOn executes root within an existing rt task context — the hook for
+// callers (registry, experiments) that already hold a pool task and want to
+// time or compose fj work inside it.
+func RunOn(rc *rt.Ctx, root func(*Ctx)) { root(&Ctx{rc: rc}) }

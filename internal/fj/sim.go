@@ -1,0 +1,197 @@
+package fj
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Sim lowering: a direct-style fork-join computation becomes a core.Node
+// tree the deterministic engine can execute, by running each fj task on its
+// own goroutine and converting its Fork/Join calls into tree structure as
+// they happen.
+//
+// The engine and the task goroutine form a coroutine pair over two
+// unbuffered channels: the engine side sends the core.Ctx of the action it
+// is charging (resume), the task side runs user code — whose view accesses
+// charge that Ctx — until the next structural event (fork, join, or return)
+// and sends it back (events).  Exactly one side runs at a time, so the
+// lowering inherits the engine's determinism and is race-free by
+// construction.
+//
+// Tree construction mirrors the engine's own fork semantics.  The code a
+// task runs while it has L unjoined forks open is its level-L *segment*, a
+// sequence node:
+//
+//   - Fork yields with the new open count L+1: the segment's current stage
+//     becomes a pair node whose right child is the forked task (pushed to
+//     the deque, stealable) and whose left child is the level-(L+1) segment
+//     — the same goroutine resumed past the Fork call.  This is exactly
+//     rt's orientation: the owner keeps the continuation, thieves take the
+//     fork.
+//   - Join on the innermost open fork yields with the open count after the
+//     close.  The segment whose level just fell out of scope ends (its
+//     sequence returns nil); segments at outer levels see the join as
+//     already satisfied — their pair node completed before they resumed —
+//     and just continue.  Because the pair completes only when the forked
+//     task is done, resuming past a Join always happens after the join
+//     target finished; and because code after an inner Join runs as the
+//     *next stage* of the enclosing segment (a sibling of the still-open
+//     outer forks), it stays concurrent with them, matching the real
+//     backend's schedule.
+//   - Return yields done: the root segment ends.
+//
+// The LIFO join discipline makes every computation series-parallel, which is
+// what lets a linear event stream rebuild the tree.
+
+// Event kinds a task goroutine yields.
+const (
+	evFork  = iota // user called Fork; fn carries the body, open the new level
+	evJoin         // user called Join; open is the count after the close
+	evDone         // the task function returned
+	evPanic        // user code panicked; val carries the panic value
+)
+
+type simEvt struct {
+	kind int
+	fn   func(*Ctx)
+	open int
+	val  any
+}
+
+// simTask is the coroutine state of one running fj task.
+type simTask struct {
+	resume chan *core.Ctx
+	events chan simEvt
+}
+
+// resumeWith hands the current engine action context to the task goroutine
+// and blocks until it yields the next structural event.  User panics cross
+// the coroutine boundary and re-panic on the engine side.
+func (st *simTask) resumeWith(cc *core.Ctx) simEvt {
+	st.resume <- cc
+	evt := <-st.events
+	if evt.kind == evPanic {
+		panic(evt.val)
+	}
+	return evt
+}
+
+// startSimTask launches the coroutine for fn.  The goroutine does nothing
+// until the first resume, so tasks sitting unexecuted in a deque cost no
+// scheduling.
+func startSimTask(fn func(*Ctx)) *simTask {
+	st := &simTask{resume: make(chan *core.Ctx), events: make(chan simEvt)}
+	go func() {
+		c := &Ctx{st: st, sc: <-st.resume}
+		defer func() {
+			if r := recover(); r != nil {
+				st.events <- simEvt{kind: evPanic, val: r}
+			}
+		}()
+		fn(c)
+		if c.open != 0 {
+			panic("fj: task returned with unjoined forks")
+		}
+		st.events <- simEvt{kind: evDone}
+	}()
+	return st
+}
+
+// forkSim is the sim side of Ctx.Fork: yield the forked body, then block
+// until the engine resumes the continuation (possibly on another simulated
+// core — that core's context replaces sc, so subsequent accesses charge the
+// core actually executing).
+func (c *Ctx) forkSim(fn func(*Ctx)) Handle {
+	c.open++
+	h := Handle{idx: c.open}
+	c.st.events <- simEvt{kind: evFork, fn: fn, open: c.open}
+	c.sc = <-c.st.resume
+	return h
+}
+
+// joinSim is the sim side of Ctx.Join.  It enforces the LIFO discipline the
+// lowering (and the HBP model) requires, yields, and blocks until the
+// joined fork has completed.
+func (c *Ctx) joinSim(h Handle) {
+	if h.idx != c.open {
+		panic("fj: joins must be LIFO — join the most recent unjoined fork first")
+	}
+	c.open--
+	c.st.events <- simEvt{kind: evJoin, open: c.open}
+	c.sc = <-c.st.resume
+}
+
+// SimNode lowers fn to a core.Node executable by the engine.  size is the
+// task-size hint |τ| recorded on the root (fj interior nodes are O(1)-work
+// bookkeeping nodes of size 1; scheduling priority derives from dag depth,
+// so the hint only informs traces and padded-stack sizing).
+func SimNode(size int64, label string, fn func(*Ctx)) *core.Node {
+	var st *simTask
+	return &core.Node{
+		Size:  size,
+		Label: label,
+		Seq: func(cc *core.Ctx, stage int) *core.Node {
+			if stage == 0 {
+				st = startSimTask(fn)
+			}
+			return nextRegion(st, cc, 0)
+		},
+	}
+}
+
+// segmentNode is the level-L segment of a suspended task: the code it runs
+// while its L-th fork is its innermost open fork, as a sequence of parallel
+// regions.
+func segmentNode(st *simTask, level int) *core.Node {
+	return &core.Node{
+		Size:  1,
+		Label: "fj·seg",
+		Seq: func(cc *core.Ctx, stage int) *core.Node {
+			return nextRegion(st, cc, level)
+		},
+	}
+}
+
+// nextRegion resumes the task until its level-L segment either opens a new
+// parallel region (returning the pair node for the engine to run next) or
+// ends (nil): the matching Join for an L-level segment, or return for the
+// root.  Joins of deeper regions that already closed are satisfied inline.
+func nextRegion(st *simTask, cc *core.Ctx, level int) *core.Node {
+	for {
+		switch evt := st.resumeWith(cc); evt.kind {
+		case evDone:
+			return nil // root only: deeper segments are guarded by the open check
+		case evJoin:
+			if evt.open < level {
+				return nil // this segment's fork level closed
+			}
+			continue // a deeper region that already completed; Join is free
+		case evFork:
+			return pairNode(st, evt.fn, evt.open)
+		}
+	}
+}
+
+// pairNode is the parallel region opened by a just-yielded level-L fork:
+// the right child is the forked task (pushed to the deque, stealable), the
+// left child is the forking task's level-L segment — the code after the
+// Fork call, running concurrently with the forked task until the matching
+// Join.  The pair completes when both are done, which is what lets the
+// enclosing segment resume past the Join.
+func pairNode(st *simTask, fn func(*Ctx), level int) *core.Node {
+	return &core.Node{
+		Size:  1,
+		Label: "fj·fork",
+		Fork: func(*core.Ctx) (*core.Node, *core.Node) {
+			return segmentNode(st, level), SimNode(1, "fj·task", fn)
+		},
+	}
+}
+
+// RunSim executes root as an fj computation of the given size hint on a
+// fresh engine over m, under scheduler s with engine options opts, and
+// returns the collected metrics.
+func RunSim(m *machine.Machine, s core.Scheduler, opts core.Options, size int64, label string, root func(*Ctx)) core.Result {
+	eng := core.NewEngine(m, s, opts)
+	return eng.Run(SimNode(size, label, root))
+}

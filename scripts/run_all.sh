@@ -28,6 +28,11 @@ go test ./...
 echo "== gate: go test -race ./internal/rt (lock-free deque + parking) =="
 go test -race ./internal/rt/ ./internal/core/
 
+echo "== gate: -race over the fj frontend + cross-backend equality =="
+# The fj real lowering runs genuinely parallel pools and the equality gate
+# compares its outputs against the sim lowering byte for byte.
+go test -race ./internal/fj/ ./internal/algos/registry/
+
 echo "== gate: -race over concurrently executing grid cells =="
 # A golden subset at -parallel 8 is the only place experiment cells run
 # concurrently; race-check it without paying for the full suite under -race.
@@ -63,6 +68,10 @@ head -1 "$rows_csv" | grep -q '^exp,algo,n,p,m,b,' || { echo "unexpected rows.cs
 # every experiment must have produced rows
 for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12 EXP13 EXP14; do
     grep -q "^$e," "$rows_csv" || { echo "no rows for $e" >&2; exit 1; }
+done
+# EXP13 must sweep the full fj-unified real-backend catalog
+for k in matmul strassen sortx scan fft transpose gather listrank; do
+    grep -q "^EXP13,$k," "$rows_csv" || { echo "EXP13 missing kernel $k" >&2; exit 1; }
 done
 
 echo "== determinism: -canon rows identical at -parallel 1 vs 8 (EXP05, EXP14) =="
