@@ -1,0 +1,70 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fj"
+	"repro/internal/machine"
+	"repro/internal/rt"
+	"repro/internal/sched"
+)
+
+// degenerateSizes is the boundary sweep per fj kernel: empty and
+// single-element inputs, the real-backend leaf grain (the largest size that
+// must NOT fork on hardware), and the first size past it.  Kernels with a
+// power-of-two shape constraint substitute grain and 2·grain for the
+// grain±1 pair.  Like eqSizes, every fj kernel must have an entry — a new
+// kernel without a boundary sweep fails the test, not silently skips it.
+var degenerateSizes = map[string][]int64{
+	"matmul":    {0, 1, 32, 64},     // power-of-two side; real grain 32
+	"strassen":  {0, 1, 32, 64},     // power-of-two side; real grain 32
+	"sortx":     {0, 1, 2048, 2049}, // real sort grain 2048
+	"spms":      {0, 1, 2048, 2049}, // real sort grain 2048
+	"scan":      {0, 1, 4096, 4097}, // real block grain 4096
+	"fft":       {0, 1, 256, 512},   // power-of-two length; real leaf 256
+	"transpose": {0, 1, 32, 33},     // real leaf area 1024 = 32²
+	"gather":    {0, 1, 2048, 2049}, // real map grain 2048
+	"listrank":  {0, 1, 2048, 2049}, // real map grain 2048
+}
+
+// TestDegenerateInputs pins the boundary behavior of every fj kernel on
+// both backends: n = 0 and n = 1 must run (nothing covered them before —
+// they happened to work, this keeps it that way), and the sizes straddling
+// the real leaf grain must keep the two lowerings byte-identical right
+// where the real backend switches between serial leaf and forked recursion.
+func TestDegenerateInputs(t *testing.T) {
+	const seed = 21
+	for _, k := range FJKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			sizes, ok := degenerateSizes[k.Name]
+			if !ok {
+				t.Fatalf("no degenerate sweep for %q — add it to degenerateSizes", k.Name)
+			}
+			for _, n := range sizes {
+				// Sim lowering on a 2-core machine under PWS.
+				m := machine.New(machine.Default(2))
+				sw := k.Setup(fj.NewSimEnv(m), n, seed)
+				eng := core.NewEngine(m, sched.NewPWS(), core.Options{})
+				eng.Run(fj.SimNode(max(1, k.InputWords(n)), k.Name, sw.Root))
+				if !sw.Verify() {
+					t.Errorf("sim: verifier failed at n=%d", n)
+				}
+				ref := sw.Output()
+
+				// Real lowering on a 2-worker pool.
+				rw := k.Setup(fj.NewRealEnv(), n, seed)
+				pool := rt.NewPoolLayout(2, rt.Random, rt.LayoutPadded)
+				fj.RunReal(pool, rw.Root)
+				if !rw.Verify() {
+					t.Errorf("real: verifier failed at n=%d", n)
+				}
+				if got := rw.Output(); !wordsEqual(ref, got) {
+					t.Errorf("n=%d: real output differs from sim (%d vs %d words)",
+						n, len(got), len(ref))
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ var eqSizes = map[string]int64{
 	"matmul":    64,      // real grain 32
 	"strassen":  64,      // real grain 32
 	"sortx":     1 << 12, // real sort grain 2048
+	"spms":      1 << 12, // real sort grain 2048
 	"scan":      1 << 13, // real block grain 4096
 	"fft":       512,     // real leaf 256
 	"transpose": 64,      // real leaf area 1024 = 32²

@@ -33,11 +33,11 @@ func TestRegistryKeys(t *testing.T) {
 	if len(SimKernels()) != 13 {
 		t.Errorf("sim catalog has %d kernels, want 13 (Table 1)", len(SimKernels()))
 	}
-	if len(RealKernels()) != 8 {
-		t.Errorf("real catalog has %d kernels, want 8", len(RealKernels()))
+	if len(RealKernels()) != 9 {
+		t.Errorf("real catalog has %d kernels, want 9", len(RealKernels()))
 	}
-	if len(FJKernels()) != 8 {
-		t.Errorf("fj catalog has %d kernels, want 8", len(FJKernels()))
+	if len(FJKernels()) != 9 {
+		t.Errorf("fj catalog has %d kernels, want 9", len(FJKernels()))
 	}
 }
 

@@ -1,0 +1,104 @@
+// Package sortutil holds the serial building blocks the fj sort kernels
+// (internal/algos/sortx, internal/algos/spms) share: the output-rank dual
+// binary search their merge partitions cut with, the stable serial two-way
+// merge, and the leaf sort.  The two kernels must agree on one tie-breaking
+// convention (ties take from the first run) for their splits and serial
+// merges to compose; keeping a single copy here is what guarantees they
+// cannot drift — the duplicate-handling bug the positional split fixed was
+// exactly a divergence in this machinery.
+package sortutil
+
+import (
+	"slices"
+
+	"repro/internal/fj"
+)
+
+// Split finds i ∈ [max(0, k−|b|), min(k, |a|)] with a[i−1] ≤ b[k−i] and
+// b[k−i−1] < a[i], so that a[0:i] ∪ b[0:k−i] are exactly the k elements a
+// stable merge emits first (ties taken from a, matching MergeSerial).
+// Splitting by output rank divides an equal key range between the two sides
+// by position, never by value, so duplicate-heavy inputs cannot unbalance
+// the callers' merge recursions.
+func Split(c *fj.Ctx, a, b fj.I64, k int64) int64 {
+	lo := k - b.Len()
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k
+	if hi > a.Len() {
+		hi = a.Len()
+	}
+	for lo < hi {
+		i := (lo + hi) / 2
+		// If the last b taken sorts strictly before a[i], i may shrink;
+		// otherwise stability forces taking more from a.
+		if b.Get(c, k-i-1) < a.Get(c, i) {
+			hi = i
+		} else {
+			lo = i + 1
+		}
+	}
+	return lo
+}
+
+// SortLeaf sorts a run serially: slices.Sort on the native backing on the
+// real backend, insertion sort through charged accesses under the simulator
+// (leaves are small there, and the sorted values are identical either way).
+func SortLeaf(c *fj.Ctx, v fj.I64) {
+	if s := v.Raw(); s != nil {
+		slices.Sort(s)
+		return
+	}
+	n := v.Len()
+	for i := int64(1); i < n; i++ {
+		x := v.Get(c, i)
+		j := i - 1
+		for j >= 0 && v.Get(c, j) > x {
+			v.Set(c, j+1, v.Get(c, j))
+			j--
+		}
+		v.Set(c, j+1, x)
+	}
+}
+
+// MergeSerial merges sorted runs a and b into out serially and stably
+// (ties take from a first).
+func MergeSerial(c *fj.Ctx, a, b, out fj.I64) {
+	if as := a.Raw(); as != nil {
+		bs, os := b.Raw(), out.Raw()
+		i, j, k := 0, 0, 0
+		for i < len(as) && j < len(bs) {
+			if as[i] <= bs[j] {
+				os[k] = as[i]
+				i++
+			} else {
+				os[k] = bs[j]
+				j++
+			}
+			k++
+		}
+		copy(os[k:], as[i:])
+		copy(os[k+len(as)-i:], bs[j:])
+		return
+	}
+	var i, j, k int64
+	for i < a.Len() && j < b.Len() {
+		if x, y := a.Get(c, i), b.Get(c, j); x <= y {
+			out.Set(c, k, x)
+			i++
+		} else {
+			out.Set(c, k, y)
+			j++
+		}
+		k++
+	}
+	for ; i < a.Len(); i++ {
+		out.Set(c, k, a.Get(c, i))
+		k++
+	}
+	for ; j < b.Len(); j++ {
+		out.Set(c, k, b.Get(c, j))
+		k++
+	}
+}

@@ -1,0 +1,80 @@
+package sortutil
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/fj"
+	"repro/internal/rt"
+)
+
+// TestSplitBalancesEqualRange checks Split's rank contract directly: on
+// all-equal runs the k smallest must come from a first (stability) with the
+// equal range divided by position, never collapsing to one side.
+func TestSplitBalancesEqualRange(t *testing.T) {
+	env := fj.NewRealEnv()
+	a, b := env.I64(8), env.I64(8)
+	for i := int64(0); i < 8; i++ {
+		a.Store(i, 5)
+		b.Store(i, 5)
+	}
+	pool := rt.NewPoolLayout(1, rt.Random, rt.LayoutPadded)
+	fj.RunReal(pool, func(c *fj.Ctx) {
+		for k := int64(0); k <= 16; k++ {
+			want := min(k, int64(8)) // stable: take everything available from a first
+			if got := Split(c, a, b, k); got != want {
+				t.Errorf("Split(equal, k=%d) = %d, want %d", k, got, want)
+			}
+		}
+	})
+}
+
+// TestSplitAgreesWithMergeSerial cross-checks the two halves of the shared
+// contract on uneven duplicate-heavy runs: for every output rank k, the
+// prefix Split selects must equal the first k elements MergeSerial emits.
+func TestSplitAgreesWithMergeSerial(t *testing.T) {
+	env := fj.NewRealEnv()
+	a, b := env.I64(6), env.I64(9)
+	for i, x := range []int64{1, 2, 2, 2, 5, 7} {
+		a.Store(int64(i), x)
+	}
+	for i, x := range []int64{0, 2, 2, 4, 5, 5, 5, 7, 9} {
+		b.Store(int64(i), x)
+	}
+	out := env.I64(15)
+	pool := rt.NewPoolLayout(1, rt.Random, rt.LayoutPadded)
+	fj.RunReal(pool, func(c *fj.Ctx) {
+		MergeSerial(c, a, b, out)
+		if !slices.IsSorted(out.Raw()) {
+			t.Fatalf("MergeSerial output not sorted: %v", out.Raw())
+		}
+		for k := int64(0); k <= 15; k++ {
+			i := Split(c, a, b, k)
+			j := k - i
+			// a[0:i] ∪ b[0:j] must be exactly the stable k-prefix: same
+			// multiset as out[0:k], with every selected element ≤ every
+			// unselected one (ties resolved a-first by construction).
+			got := append(append([]int64{}, a.Raw()[:i]...), b.Raw()[:j]...)
+			slices.Sort(got)
+			want := append([]int64{}, out.Raw()[:k]...)
+			if !slices.Equal(got, want) {
+				t.Errorf("k=%d: split prefix %v != merge prefix %v", k, got, want)
+			}
+		}
+	})
+}
+
+// TestSortLeafBothBackings pins the leaf sort on a native slice (real
+// backing) — the sim path is exercised end to end by the kernels' tests.
+func TestSortLeafBothBackings(t *testing.T) {
+	env := fj.NewRealEnv()
+	v := env.I64(9)
+	for i, x := range []int64{5, 1, 4, 1, 5, 9, 2, 6, 5} {
+		v.Store(int64(i), x)
+	}
+	pool := rt.NewPoolLayout(1, rt.Random, rt.LayoutPadded)
+	fj.RunReal(pool, func(c *fj.Ctx) { SortLeaf(c, v) })
+	if !slices.IsSorted(v.Raw()) {
+		t.Fatalf("SortLeaf output not sorted: %v", v.Raw())
+	}
+}

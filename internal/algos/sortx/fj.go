@@ -4,15 +4,13 @@ package sortx
 // against internal/fj, mirroring the package's simulated Type-2 HBP merge
 // sort.  Recursive halves sort into ping-ponged buffers (every address
 // written once per buffer — the limited-access discipline) and are merged by
-// merge-path splitting: the larger run is cut at its median, the cut's rank
-// in the other run is found by binary search, and the two independent merges
-// recurse in parallel.  Keys are exact int64, so the lowerings agree
-// byte-for-byte at any leaf cutoff.
+// merge-path splitting: a dual binary search cuts both runs at the output
+// midpoint (so equal key ranges divide across both sides by rank), and the
+// two independent half-merges recurse in parallel.  Keys are exact int64, so
+// the lowerings agree byte-for-byte at any leaf cutoff.
 
 import (
-	"slices"
-	"sort"
-
+	"repro/internal/algos/sortutil"
 	"repro/internal/fj"
 )
 
@@ -29,7 +27,7 @@ const (
 func FJSort(c *fj.Ctx, data fj.I64) {
 	n := data.Len()
 	if n <= c.Grain(FJSortGrainSim, FJSortGrainReal) {
-		fjSortLeaf(c, data)
+		sortutil.SortLeaf(c, data)
 		return
 	}
 	buf := c.AllocI64(n)
@@ -42,7 +40,7 @@ func FJSort(c *fj.Ctx, data fj.I64) {
 func fjSortRec(c *fj.Ctx, src, buf fj.I64, toBuf bool) {
 	n := src.Len()
 	if n <= c.Grain(FJSortGrainSim, FJSortGrainReal) {
-		fjSortLeaf(c, src)
+		sortutil.SortLeaf(c, src)
 		if toBuf {
 			for i := int64(0); i < n; i++ {
 				buf.Set(c, i, src.Get(c, i))
@@ -63,79 +61,23 @@ func fjSortRec(c *fj.Ctx, src, buf fj.I64, toBuf bool) {
 }
 
 // fjMerge merges sorted runs a and b into out by parallel merge-path
-// splitting.
+// splitting: the output midpoint is located with the shared output-rank
+// dual binary search (sortutil.Split) and the two exact output halves merge
+// in parallel.  Cutting by output rank divides an equal key range across
+// both children; the earlier value-based cut (first b[k] ≥ pivot) pushed a
+// pivot's whole equal range into one child, so duplicate-heavy inputs
+// degenerated into unbalanced recursions over empty-sided merges.
 func fjMerge(c *fj.Ctx, a, b, out fj.I64) {
-	if a.Len()+b.Len() <= c.Grain(FJMergeGrainSim, FJMergeGrainReal) {
-		fjMergeSerial(c, a, b, out)
+	m := a.Len() + b.Len()
+	if m <= c.Grain(FJMergeGrainSim, FJMergeGrainReal) {
+		sortutil.MergeSerial(c, a, b, out)
 		return
 	}
-	if a.Len() < b.Len() {
-		a, b = b, a
-	}
-	i := a.Len() / 2
-	pivot := a.Get(c, i)
-	j := int64(sort.Search(int(b.Len()), func(k int) bool { return b.Get(c, int64(k)) >= pivot }))
+	k := m / 2
+	i := sortutil.Split(c, a, b, k)
+	j := k - i
 	c.Parallel(
-		func(c *fj.Ctx) { fjMerge(c, a.Slice(0, i), b.Slice(0, j), out.Slice(0, i+j)) },
-		func(c *fj.Ctx) { fjMerge(c, a.Slice(i, a.Len()), b.Slice(j, b.Len()), out.Slice(i+j, out.Len())) },
+		func(c *fj.Ctx) { fjMerge(c, a.Slice(0, i), b.Slice(0, j), out.Slice(0, k)) },
+		func(c *fj.Ctx) { fjMerge(c, a.Slice(i, a.Len()), b.Slice(j, b.Len()), out.Slice(k, m)) },
 	)
-}
-
-// fjSortLeaf sorts a run serially: slices.Sort on the native backing on the
-// real backend, insertion sort through charged accesses under the simulator
-// (leaves are small there, and the sorted values are identical either way).
-func fjSortLeaf(c *fj.Ctx, v fj.I64) {
-	if s := v.Raw(); s != nil {
-		slices.Sort(s)
-		return
-	}
-	n := v.Len()
-	for i := int64(1); i < n; i++ {
-		x := v.Get(c, i)
-		j := i - 1
-		for j >= 0 && v.Get(c, j) > x {
-			v.Set(c, j+1, v.Get(c, j))
-			j--
-		}
-		v.Set(c, j+1, x)
-	}
-}
-
-func fjMergeSerial(c *fj.Ctx, a, b, out fj.I64) {
-	if as := a.Raw(); as != nil {
-		bs, os := b.Raw(), out.Raw()
-		i, j, k := 0, 0, 0
-		for i < len(as) && j < len(bs) {
-			if as[i] <= bs[j] {
-				os[k] = as[i]
-				i++
-			} else {
-				os[k] = bs[j]
-				j++
-			}
-			k++
-		}
-		copy(os[k:], as[i:])
-		copy(os[k+len(as)-i:], bs[j:])
-		return
-	}
-	var i, j, k int64
-	for i < a.Len() && j < b.Len() {
-		if x, y := a.Get(c, i), b.Get(c, j); x <= y {
-			out.Set(c, k, x)
-			i++
-		} else {
-			out.Set(c, k, y)
-			j++
-		}
-		k++
-	}
-	for ; i < a.Len(); i++ {
-		out.Set(c, k, a.Get(c, i))
-		k++
-	}
-	for ; j < b.Len(); j++ {
-		out.Set(c, k, b.Get(c, j))
-		k++
-	}
 }

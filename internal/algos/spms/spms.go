@@ -1,0 +1,186 @@
+// Package spms implements the paper's actual sorting subroutine — SPMS
+// (Sample, Partition, and Merge Sort; Cole–Ramachandran, *Resource Oblivious
+// Sorting on Multicores*) — as a unified fork-join kernel written once
+// against internal/fj, so one source earns measurements on both the
+// simulated multicore and the real work-stealing runtime.
+//
+// The kernel follows SPMS's recursion shape.  A sort of n keys splits into
+// k ≈ √n runs that sort recursively in parallel (O(log log n) levels of
+// sort recursion, each shrinking the problem size to its square root), and
+// the sorted runs are then combined by a merge whose partitioning step is
+// interleaved with the merging itself: every merge of total size m cuts its
+// *output* into ~√m buckets of exactly equal size, locating each bucket
+// boundary with a dual binary search over the two input runs, and the
+// buckets — independent subproblems whose sizes again shrink to the square
+// root — merge recursively in parallel.  All boundary searches of a level
+// run as one parallel phase, so a merge of size m has critical path
+// O(log m) + D(√m) = O(log m), and the whole sort runs in O(log² n) depth
+// with small constants, versus the O(log³ n) of the Type-2 HBP merge-sort
+// stand-in in internal/algos/sortx (the remaining log n / log log n factor
+// over SPMS's O(log n · log log n) comes from combining runs pairwise
+// instead of with the full k-way sample merge; EXP15 measures both depths
+// against their forms).
+//
+// Positional bucket boundaries make the partition oblivious to the key
+// distribution: an all-equal input still splits into exact √m-size buckets,
+// because the dual binary search divides an equal range between the two
+// sides by rank, never by value (the same discipline the sortx merge-path
+// fix applies at its midpoint).  Keys are exact int64 and a sorted multiset
+// has a unique word sequence, so the sim and real lowerings stay
+// byte-identical at any leaf cutoff.
+package spms
+
+import (
+	"repro/internal/algos/sortutil"
+	"repro/internal/fj"
+)
+
+// Per-backend leaf cutoffs: run length at or below which a recursive sort
+// leaf runs serially, and combined length at or below which merges are
+// serial.  Simulator grains stay small so the model observes the recursion;
+// real grains amortize scheduling over tight loops.
+const (
+	FJSortGrainSim   = 16
+	FJSortGrainReal  = 2048
+	FJMergeGrainSim  = 24
+	FJMergeGrainReal = 4096
+)
+
+// FJSort sorts data ascending in parallel.
+func FJSort(c *fj.Ctx, data fj.I64) {
+	n := data.Len()
+	if n <= c.Grain(FJSortGrainSim, FJSortGrainReal) {
+		sortutil.SortLeaf(c, data)
+		return
+	}
+	buf := c.AllocI64(n)
+	fjSortRec(c, data, buf, false)
+}
+
+// fjSortRec sorts src; the sorted output lands in buf when toBuf is set and
+// in src otherwise.  One SPMS level: split into k ≈ √n runs, sort them
+// recursively in parallel (each in place in src), then combine the runs
+// with a pairwise tree of bucket-partitioned merges ping-ponging between
+// src and buf.
+func fjSortRec(c *fj.Ctx, src, buf fj.I64, toBuf bool) {
+	n := src.Len()
+	if n <= c.Grain(FJSortGrainSim, FJSortGrainReal) {
+		sortutil.SortLeaf(c, src)
+		if toBuf {
+			fjCopy(c, src, buf)
+		}
+		return
+	}
+	k := runCount(n)
+	runLen := (n + k - 1) / k
+	c.For(0, k, 1, func(c *fj.Ctx, r int64) {
+		lo, hi := runBounds(n, runLen, r, r+1)
+		fjSortRec(c, src.Slice(lo, hi), buf.Slice(lo, hi), false)
+	})
+	fjMergeRuns(c, src, buf, runLen, 0, k, toBuf)
+}
+
+// runCount returns the SPMS split arity for n: the smallest power of two at
+// or above ⌊√n⌋ (a power of two keeps the pairwise combine tree balanced).
+func runCount(n int64) int64 {
+	s := isqrt(n)
+	k := int64(2)
+	for k < s {
+		k <<= 1
+	}
+	return k
+}
+
+// runBounds returns the span of runs [r0, r1) in an n-element array cut
+// into runLen-sized runs (the trailing run may be short or empty).
+func runBounds(n, runLen, r0, r1 int64) (lo, hi int64) {
+	lo = min(n, r0*runLen)
+	hi = min(n, r1*runLen)
+	return lo, hi
+}
+
+// isqrt returns ⌊√n⌋ for n ≥ 0 (integer Newton iteration — exact, so both
+// lowerings agree on every split).
+func isqrt(n int64) int64 {
+	if n < 2 {
+		return n
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}
+
+// fjMergeRuns combines sorted runs [r0, r1) of src into one sorted span,
+// landing in buf when toBuf is set and in src otherwise.  Children produce
+// their halves in the opposite array, which the final merge ping-pongs
+// back, so every address is written once per level (limited access).
+func fjMergeRuns(c *fj.Ctx, src, buf fj.I64, runLen, r0, r1 int64, toBuf bool) {
+	n := src.Len()
+	lo, hi := runBounds(n, runLen, r0, r1)
+	if r1-r0 == 1 {
+		// A single run is already sorted in place in src.
+		if toBuf {
+			fjCopy(c, src.Slice(lo, hi), buf.Slice(lo, hi))
+		}
+		return
+	}
+	mid := (r0 + r1) / 2
+	c.Parallel(
+		func(c *fj.Ctx) { fjMergeRuns(c, src, buf, runLen, r0, mid, !toBuf) },
+		func(c *fj.Ctx) { fjMergeRuns(c, src, buf, runLen, mid, r1, !toBuf) },
+	)
+	cut, _ := runBounds(n, runLen, mid, r1)
+	from, into := buf, src
+	if toBuf {
+		from, into = src, buf
+	}
+	fjMerge(c, from.Slice(lo, cut), from.Slice(cut, hi), into.Slice(lo, hi))
+}
+
+// fjMerge merges sorted runs a and b into out by the SPMS partition-merge:
+// the output is cut into ⌈m/⌈√m⌉⌉ buckets of exactly ⌈√m⌉ elements, each
+// boundary located with the shared output-rank dual binary search
+// (sortutil.Split; all boundaries in one parallel phase), and the buckets
+// merge recursively in parallel.
+func fjMerge(c *fj.Ctx, a, b, out fj.I64) {
+	m := a.Len() + b.Len()
+	if m <= c.Grain(FJMergeGrainSim, FJMergeGrainReal) {
+		sortutil.MergeSerial(c, a, b, out)
+		return
+	}
+	t := isqrt(m)         // bucket size (≥ 2 since m ≥ 4)
+	nb := (m + t - 1) / t // bucket count ≈ √m
+	ai, bi := c.AllocI64(nb+1), c.AllocI64(nb+1)
+	ai.Set(c, 0, 0)
+	bi.Set(c, 0, 0)
+	ai.Set(c, nb, a.Len())
+	bi.Set(c, nb, b.Len())
+	c.For(1, nb, 1, func(c *fj.Ctx, j int64) {
+		i := sortutil.Split(c, a, b, j*t)
+		ai.Set(c, j, i)
+		bi.Set(c, j, j*t-i)
+	})
+	c.For(0, nb, 1, func(c *fj.Ctx, j int64) {
+		alo, ahi := ai.Get(c, j), ai.Get(c, j+1)
+		blo, bhi := bi.Get(c, j), bi.Get(c, j+1)
+		fjMerge(c, a.Slice(alo, ahi), b.Slice(blo, bhi), out.Slice(alo+blo, ahi+bhi))
+	})
+}
+
+// fjCopy copies src into dst (equal lengths) as a parallel map.
+func fjCopy(c *fj.Ctx, src, dst fj.I64) {
+	if ss := src.Raw(); ss != nil {
+		// One serial pass on the real backend: a leaf-level copy is cheaper
+		// than forking over it at these sizes.
+		copy(dst.Raw(), ss)
+		return
+	}
+	n := src.Len()
+	c.For(0, n, c.Grain(32, 1<<60), func(c *fj.Ctx, i int64) {
+		dst.Set(c, i, src.Get(c, i))
+	})
+}

@@ -40,8 +40,8 @@ func TestFindAlgo(t *testing.T) {
 
 func TestExperimentsRegistered(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
-		t.Fatalf("%d experiments registered, want 14", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("%d experiments registered, want 15", len(exps))
 	}
 	for _, e := range exps {
 		if e.Backend != "sim" && e.Backend != "real" {
@@ -88,7 +88,7 @@ func TestRepeatsProduceDistinctSeededRows(t *testing.T) {
 }
 
 func TestSeedChangesInputs(t *testing.T) {
-	a, _ := FindAlgo("Sort (SPMS-sub)")
+	a, _ := FindAlgo("Sort (HBP-MS)")
 	s1 := DefaultSpec(4)
 	s2 := DefaultSpec(4)
 	s2.Seed = 99
@@ -127,7 +127,7 @@ func TestLemma41FormulaPositive(t *testing.T) {
 
 func TestDeterministicInputs(t *testing.T) {
 	// Same seed → same generated inputs → identical results.
-	a, _ := FindAlgo("Sort (SPMS-sub)")
+	a, _ := FindAlgo("Sort (HBP-MS)")
 	r1 := Run(a, 1024, DefaultSpec(4))
 	r2 := Run(a, 1024, DefaultSpec(4))
 	if r1.Makespan != r2.Makespan || r1.Work != r2.Work {

@@ -11,8 +11,8 @@ import (
 )
 
 // EXP13 is the real-hardware false-sharing ablation: every real-backend
-// kernel in the registry — the real lowering of the eight fj-unified
-// sources (matmul, strassen, sortx, scan, fft, transpose, gather,
+// kernel in the registry — the real lowering of the nine fj-unified
+// sources (matmul, strassen, sortx, spms, scan, fft, transpose, gather,
 // listrank) — runs on the internal/rt runtime with its hot worker/task
 // state laid out either padded (one cache line per contended word, the
 // paper's §4.7 discipline applied to the scheduler itself) or compact (all

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/harness"
+)
+
+// EXP15 is the sorting critical-path experiment: it runs the two fj sort
+// kernels' sim lowerings over a common n-sweep and checks the measured DAG
+// depth (T∞, schedule-independent) against each kernel's depth form —
+// c·log n·log log n for spms (the SPMS bound its partition-merge recursion
+// targets) and c·log³ n for sortx (the Type-2 HBP merge-sort stand-in).
+// The constant c is fit per kernel on the smallest size, exactly the EXP14
+// protocol: at every larger size measured/(c·form) must stay at or below
+// the declared envelope (depth forms are upper bounds, so only the upper
+// side can fail).  The headline comparison — spms's measured depth below
+// sortx's at the largest common n — is asserted by exp15_test.go and
+// visible in the rendered table.
+//
+// Row schema: Note = "depth", Bound = c·form(n), Ratio = CritPath/Bound,
+// Aux1 = c, Aux2 = the envelope, Aux3 = form(n) unscaled.  Rows carry no
+// wall-clock-derived measurements, so `-canon` output is byte-identical
+// across -parallel levels.
+
+// exp15Envelope is the declared one-sided tolerance on measured/(c·form).
+const exp15Envelope = 1.5
+
+// exp15Kernels names the compared sort kernels and their depth forms.
+var exp15Kernels = []struct {
+	Name string
+	Form func(n int64) float64
+}{
+	{"spms", func(n int64) float64 {
+		l := math.Log2(float64(n))
+		return l * math.Log2(l)
+	}},
+	{"sortx", func(n int64) float64 {
+		l := math.Log2(float64(n))
+		return l * l * l
+	}},
+}
+
+// exp15Form returns the depth form for the named kernel.
+func exp15Form(name string) func(int64) float64 {
+	for _, k := range exp15Kernels {
+		if k.Name == name {
+			return k.Form
+		}
+	}
+	return nil
+}
+
+// exp15Sizes is the common n-sweep (both kernels accept any n; these sizes
+// keep the larger sim runs under a second).
+func exp15Sizes(quick bool) []int64 {
+	if quick {
+		return []int64{512, 2048}
+	}
+	return []int64{512, 1024, 2048, 4096, 8192}
+}
+
+func exp15Cells(p Params) []harness.Cell {
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, k := range exp15Kernels {
+			a, ok := FindAlgo(k.Name)
+			if !ok {
+				panic("exp15: sort kernel " + k.Name + " not in the sim catalog")
+			}
+			for _, n := range exp15Sizes(p.Quick) {
+				a, n, spec := a, n, stamp(DefaultSpec(4), rep, seed)
+				cells = append(cells, harness.Cell{
+					Exp: "EXP15", Label: a.Name,
+					Run: func() []harness.Row {
+						r := measure("EXP15", a, n, spec)
+						r.Note = "depth"
+						return []harness.Row{r}
+					},
+				})
+			}
+		}
+	})
+	return cells
+}
+
+// exp15Finish fits each kernel's constant on its smallest size and fills
+// Bound = c·form(n), Ratio = CritPath/Bound, Aux1 = c, Aux2 = envelope,
+// Aux3 = form(n).
+func exp15Finish(rows []harness.Row) []harness.Row {
+	type key struct {
+		algo string
+		rep  int
+	}
+	groups := map[key][]int{}
+	for i, r := range rows {
+		k := key{r.Algo, r.Repeat}
+		groups[k] = append(groups[k], i)
+	}
+	for _, idx := range groups {
+		sort.Slice(idx, func(a, b int) bool { return rows[idx[a]].N < rows[idx[b]].N })
+		form := exp15Form(rows[idx[0]].Algo)
+		if form == nil {
+			continue
+		}
+		fit := rows[idx[0]]
+		c := float64(fit.CritPath) / form(fit.N)
+		for _, i := range idx {
+			r := &rows[i]
+			r.Bound = c * form(r.N)
+			r.Ratio = float64(r.CritPath) / r.Bound
+			r.Aux1 = c
+			r.Aux2 = exp15Envelope
+			r.Aux3 = form(r.N)
+		}
+	}
+	return rows
+}
+
+func exp15Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP15 — sort critical path: spms (c·lg n·lglg n) vs sortx (c·lg³ n)")
+	t := harness.NewTable(w, "kernel", "n", "T∞", "c·form", "ratio", "envelope", "status")
+	for _, r := range rows {
+		status := "ok"
+		if r.Ratio > r.Aux2 {
+			status = "OUT OF ENVELOPE"
+		}
+		t.Line(r.Algo, harness.F(r.N), harness.F(r.CritPath), harness.F(int64(r.Bound)),
+			harness.F(r.Ratio), harness.F(r.Aux2), status)
+	}
+	t.Flush()
+}

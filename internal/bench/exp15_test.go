@@ -1,0 +1,62 @@
+package bench_test
+
+// EXP15 acceptance: the SPMS kernel's measured sim depth must grow no
+// faster than its fitted c·log n·log log n form, and must sit below the
+// merge-sort stand-in's depth at the largest common size — the structural
+// improvement the kernel exists to deliver.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/harness"
+)
+
+func exp15Rows(t *testing.T) []harness.Row {
+	t.Helper()
+	e, ok := bench.FindExperiment("EXP15")
+	if !ok {
+		t.Fatal("EXP15 not registered")
+	}
+	rows := e.Rows(bench.Params{Quick: true}, 1)
+	if len(rows) == 0 {
+		t.Fatal("EXP15 produced no rows")
+	}
+	return rows
+}
+
+func TestEXP15DepthWithinEnvelope(t *testing.T) {
+	for _, r := range exp15Rows(t) {
+		if r.Note != "depth" || r.Bound <= 0 || r.Aux2 <= 1 {
+			t.Errorf("%s n=%d: malformed depth row (note=%q bound=%v envelope=%v)",
+				r.Algo, r.N, r.Note, r.Bound, r.Aux2)
+			continue
+		}
+		if r.Ratio > r.Aux2 {
+			t.Errorf("%s n=%d: depth %d is %.2f× the fitted form (envelope %.1f)",
+				r.Algo, r.N, r.CritPath, r.Ratio, r.Aux2)
+		}
+	}
+}
+
+func TestEXP15SpmsDepthBelowSortx(t *testing.T) {
+	depth := map[string]map[int64]int64{}
+	for _, r := range exp15Rows(t) {
+		if depth[r.Algo] == nil {
+			depth[r.Algo] = map[int64]int64{}
+		}
+		depth[r.Algo][r.N] = r.CritPath
+	}
+	var largest int64
+	for n := range depth["spms"] {
+		if _, ok := depth["sortx"][n]; ok && n > largest {
+			largest = n
+		}
+	}
+	if largest == 0 {
+		t.Fatal("no common size between spms and sortx")
+	}
+	if s, x := depth["spms"][largest], depth["sortx"][largest]; s >= x {
+		t.Errorf("at n=%d spms depth %d is not below sortx depth %d", largest, s, x)
+	}
+}

@@ -1,7 +1,9 @@
 package fj
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -205,6 +207,47 @@ func TestUserPanicPropagates(t *testing.T) {
 			func(*Ctx) { panic("boom") },
 		)
 	})
+}
+
+// TestPanicTearsDownCoroutines is the goroutine-leak regression for the sim
+// lowering: a panic unwinding the engine must also unwind every suspended
+// sibling coroutine.  It strands coroutines in both reachable states —
+// never started (a forked task the engine hadn't scheduled yet) and parked
+// mid-fork/join — and asserts the goroutine count returns to baseline.
+func TestPanicTearsDownCoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		m := machine.New(machine.Default(4))
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("recovered %v, want boom", r)
+				}
+			}()
+			RunSim(m, sched.NewPWS(), core.Options{}, 8, "panicky", func(c *Ctx) {
+				hA := c.Fork(func(c *Ctx) {
+					h := c.Fork(func(*Ctx) {})
+					c.Join(h)
+				})
+				hB := c.Fork(func(*Ctx) { panic("boom") })
+				c.Join(hB)
+				c.Join(hA)
+			})
+		}()
+	}
+	// Torn-down goroutines exit asynchronously; poll with a deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("sim coroutines leaked: %d goroutines before, %d after\n%s",
+				before, g, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // TestGrainSelectsBackend pins the per-backend cutoff hook.

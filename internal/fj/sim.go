@@ -1,6 +1,8 @@
 package fj
 
 import (
+	"runtime"
+
 	"repro/internal/core"
 	"repro/internal/machine"
 )
@@ -62,15 +64,44 @@ type simEvt struct {
 type simTask struct {
 	resume chan *core.Ctx
 	events chan simEvt
+	run    *simRun
+}
+
+// simRun tracks every live coroutine of one fj computation so a panic can
+// tear them all down.  The engine executes one action at a time and all
+// registry mutation happens on the engine goroutine, so no locking is
+// needed: whenever the engine runs, every live task other than the one it
+// is resuming is parked on <-resume.
+type simRun struct {
+	live map[*simTask]struct{}
+	dead bool // a panic tore this run down
+}
+
+// teardown unblocks every still-suspended coroutine of the run.  Closing
+// resume makes the parked receive yield nil, which the task side turns into
+// a goroutine exit — without it, sibling coroutines blocked on <-resume
+// would outlive the computation whose panic unwound the engine.
+func (run *simRun) teardown() {
+	run.dead = true
+	for st := range run.live {
+		close(st.resume)
+	}
+	run.live = map[*simTask]struct{}{}
 }
 
 // resumeWith hands the current engine action context to the task goroutine
 // and blocks until it yields the next structural event.  User panics cross
-// the coroutine boundary and re-panic on the engine side.
+// the coroutine boundary, tear down the run's outstanding coroutines, and
+// re-panic on the engine side.
 func (st *simTask) resumeWith(cc *core.Ctx) simEvt {
 	st.resume <- cc
 	evt := <-st.events
-	if evt.kind == evPanic {
+	switch evt.kind {
+	case evDone:
+		delete(st.run.live, st)
+	case evPanic:
+		delete(st.run.live, st) // this goroutine already exited
+		st.run.teardown()
 		panic(evt.val)
 	}
 	return evt
@@ -78,15 +109,23 @@ func (st *simTask) resumeWith(cc *core.Ctx) simEvt {
 
 // startSimTask launches the coroutine for fn.  The goroutine does nothing
 // until the first resume, so tasks sitting unexecuted in a deque cost no
-// scheduling.
-func startSimTask(fn func(*Ctx)) *simTask {
-	st := &simTask{resume: make(chan *core.Ctx), events: make(chan simEvt)}
+// scheduling; a nil resume (run teardown) exits it without yielding.
+func startSimTask(run *simRun, fn func(*Ctx)) *simTask {
+	st := &simTask{resume: make(chan *core.Ctx), events: make(chan simEvt), run: run}
+	run.live[st] = struct{}{}
 	go func() {
-		c := &Ctx{st: st, sc: <-st.resume}
+		sc := <-st.resume
+		if sc == nil {
+			return // torn down before first execution
+		}
+		c := &Ctx{st: st, sc: sc}
 		defer func() {
-			if r := recover(); r != nil {
+			if r := recover(); r != nil && !st.run.dead {
 				st.events <- simEvt{kind: evPanic, val: r}
 			}
+			// A panic with run.dead set can only come from user defers
+			// running during the teardown Goexit; the engine is already
+			// propagating the original panic and no longer listening.
 		}()
 		fn(c)
 		if c.open != 0 {
@@ -97,6 +136,18 @@ func startSimTask(fn func(*Ctx)) *simTask {
 	return st
 }
 
+// await parks the coroutine until the engine resumes it.  A nil resume
+// means a sibling's panic tore the run down while this task was suspended;
+// the coroutine exits via Goexit (running defers, immune to user recovers)
+// instead of returning into user code with no engine behind it.
+func (st *simTask) await() *core.Ctx {
+	cc := <-st.resume
+	if cc == nil {
+		runtime.Goexit()
+	}
+	return cc
+}
+
 // forkSim is the sim side of Ctx.Fork: yield the forked body, then block
 // until the engine resumes the continuation (possibly on another simulated
 // core — that core's context replaces sc, so subsequent accesses charge the
@@ -105,7 +156,7 @@ func (c *Ctx) forkSim(fn func(*Ctx)) Handle {
 	c.open++
 	h := Handle{idx: c.open}
 	c.st.events <- simEvt{kind: evFork, fn: fn, open: c.open}
-	c.sc = <-c.st.resume
+	c.sc = c.st.await()
 	return h
 }
 
@@ -118,7 +169,7 @@ func (c *Ctx) joinSim(h Handle) {
 	}
 	c.open--
 	c.st.events <- simEvt{kind: evJoin, open: c.open}
-	c.sc = <-c.st.resume
+	c.sc = c.st.await()
 }
 
 // SimNode lowers fn to a core.Node executable by the engine.  size is the
@@ -126,13 +177,19 @@ func (c *Ctx) joinSim(h Handle) {
 // bookkeeping nodes of size 1; scheduling priority derives from dag depth,
 // so the hint only informs traces and padded-stack sizing).
 func SimNode(size int64, label string, fn func(*Ctx)) *core.Node {
+	return simNode(&simRun{live: map[*simTask]struct{}{}}, size, label, fn)
+}
+
+// simNode builds the node for one task of an existing run (the root gets a
+// fresh run from SimNode; forked tasks share their forker's).
+func simNode(run *simRun, size int64, label string, fn func(*Ctx)) *core.Node {
 	var st *simTask
 	return &core.Node{
 		Size:  size,
 		Label: label,
 		Seq: func(cc *core.Ctx, stage int) *core.Node {
 			if stage == 0 {
-				st = startSimTask(fn)
+				st = startSimTask(run, fn)
 			}
 			return nextRegion(st, cc, 0)
 		},
@@ -183,7 +240,7 @@ func pairNode(st *simTask, fn func(*Ctx), level int) *core.Node {
 		Size:  1,
 		Label: "fj·fork",
 		Fork: func(*core.Ctx) (*core.Node, *core.Node) {
-			return segmentNode(st, level), SimNode(1, "fj·task", fn)
+			return segmentNode(st, level), simNode(st.run, 1, "fj·task", fn)
 		},
 	}
 }

@@ -211,6 +211,24 @@ func models() []Model {
 			Envelope:    env(3, 12, 8),
 		},
 		{
+			// spms is the fj-unified SPMS sort (internal/algos/spms), a
+			// Type-2 HBP computation with the Table-1 sorting bounds: the
+			// cache complexity of the FFT/sort family, the Lemma 4.1(ii)
+			// steal excess, and the Lemma 4.9 sorting false-sharing term
+			// (the same O(pB·lg n·lglg B) shape Lemma 4.2 gives the FFT).
+			Name: "spms",
+			seqQ: func(p Params) float64 {
+				return nf(p) / float64(p.B) * lg(nf(p)) / lg(float64(p.M))
+			},
+			stealExcess: func(p Params) float64 {
+				return pf(p) * mOverB(p) * lg(nf(p)) / lg(float64(p.M))
+			},
+			fsDelay: func(p Params) float64 {
+				return pf(p) * float64(p.B) * lg(nf(p)) * lg(lg(float64(p.B))+2)
+			},
+			Envelope: env(2, 12, 8),
+		},
+		{
 			Name: "FFT",
 			seqQ: func(p Params) float64 {
 				return nf(p) / float64(p.B) * (1 + lg(nf(p))/lg(float64(p.M)))

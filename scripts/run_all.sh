@@ -1,91 +1,129 @@
 #!/usr/bin/env bash
 # run_all.sh — reproducible quick pass over the whole evaluation:
-#   1) gofmt/vet/build/test gate
-#   2) quick experiment grid -> runs/<stamp>/{csv,logs} archive
-#   3) sanity-check the emitted CSVs
+#   1) verification half: gofmt/vet/build/test gate + race/docs gates
+#   2) grid half: quick experiment grid -> runs/<stamp>/{csv,logs} archive,
+#      CSV sanity, -canon determinism, and the EXP14 envelope grep
 #
-# Usage: bash scripts/run_all.sh [outdir]   (default outdir: runs)
+# Usage: bash scripts/run_all.sh [--verify-only|--grid-only] [outdir]
+#   (default: both halves; default outdir: runs)
+# CI runs the two halves as separate jobs (test + grid in ci.yml).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE=all
+case "${1:-}" in
+--verify-only)
+    MODE=verify
+    shift
+    ;;
+--grid-only)
+    MODE=grid
+    shift
+    ;;
+esac
 OUT="${1:-runs}"
 
-echo "== gate: gofmt =="
-fmt=$(gofmt -l .)
-if [ -n "$fmt" ]; then
-    echo "gofmt needed on:" >&2
-    echo "$fmt" >&2
-    exit 1
+if [ "$MODE" != grid ]; then
+    echo "== gate: gofmt =="
+    fmt=$(gofmt -l .)
+    if [ -n "$fmt" ]; then
+        echo "gofmt needed on:" >&2
+        echo "$fmt" >&2
+        exit 1
+    fi
+
+    echo "== gate: go vet =="
+    go vet ./...
+
+    echo "== gate: go build + go test =="
+    go build ./...
+    go test ./...
+
+    echo "== gate: go test -race ./internal/rt (lock-free deque + parking) =="
+    go test -race ./internal/rt/ ./internal/core/
+
+    echo "== gate: -race over the fj frontend + cross-backend equality =="
+    # The fj real lowering runs genuinely parallel pools and the equality gate
+    # compares its outputs against the sim lowering byte for byte.
+    go test -race ./internal/fj/ ./internal/algos/registry/
+
+    echo "== gate: -race over concurrently executing grid cells =="
+    # A golden subset at -parallel 8 is the only place experiment cells run
+    # concurrently; race-check it without paying for the full suite under -race.
+    go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12|EXP13|EXP14|EXP15)' ./internal/bench/
+
+    echo "== gate: docs (package comments + markdown links) =="
+    bash scripts/check_docs.sh
 fi
 
-echo "== gate: go vet =="
-go vet ./...
+if [ "$MODE" != verify ]; then
+    echo "== quick grid -> $OUT =="
+    go run ./cmd/hbpbench -quick -repeats 2 -out "$OUT" >/dev/null
+    dir=$(ls -d "$OUT"/*/ | sort | tail -1)
+    dir="${dir%/}"
+    echo "archived $dir"
 
-echo "== gate: go build + go test =="
-go build ./...
-go test ./...
+    echo "== sanity: csv row counts =="
+    rows_csv="$dir/csv/rows.csv"
+    summary_csv="$dir/csv/summary.csv"
+    jsonl="$dir/rows.jsonl"
+    for f in "$rows_csv" "$summary_csv" "$jsonl" "$dir/logs/tables.txt"; do
+        [ -s "$f" ] || {
+            echo "missing or empty: $f" >&2
+            exit 1
+        }
+    done
 
-echo "== gate: go test -race ./internal/rt (lock-free deque + parking) =="
-go test -race ./internal/rt/ ./internal/core/
+    nrows=$(($(wc -l <"$rows_csv") - 1))
+    nsum=$(($(wc -l <"$summary_csv") - 1))
+    njson=$(wc -l <"$jsonl")
+    echo "rows.csv: $nrows rows; summary.csv: $nsum groups; rows.jsonl: $njson lines"
+    [ "$nrows" -gt 0 ] || {
+        echo "rows.csv has no data rows" >&2
+        exit 1
+    }
+    [ "$njson" -eq "$nrows" ] || {
+        echo "jsonl/csv row mismatch: $njson vs $nrows" >&2
+        exit 1
+    }
+    # 2 repeats per cell -> exactly half as many summary groups as rows.
+    [ $((nsum * 2)) -eq "$nrows" ] || {
+        echo "summary groups $nsum != rows/$nrows/2" >&2
+        exit 1
+    }
 
-echo "== gate: -race over the fj frontend + cross-backend equality =="
-# The fj real lowering runs genuinely parallel pools and the equality gate
-# compares its outputs against the sim lowering byte for byte.
-go test -race ./internal/fj/ ./internal/algos/registry/
+    head -1 "$rows_csv" | grep -q '^exp,algo,n,p,m,b,' || {
+        echo "unexpected rows.csv header" >&2
+        exit 1
+    }
+    # every experiment must have produced rows
+    for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12 EXP13 EXP14 EXP15; do
+        grep -q "^$e," "$rows_csv" || {
+            echo "no rows for $e" >&2
+            exit 1
+        }
+    done
+    # EXP13 must sweep the full fj-unified real-backend catalog
+    for k in matmul strassen sortx spms scan fft transpose gather listrank; do
+        grep -q "^EXP13,$k," "$rows_csv" || {
+            echo "EXP13 missing kernel $k" >&2
+            exit 1
+        }
+    done
 
-echo "== gate: -race over concurrently executing grid cells =="
-# A golden subset at -parallel 8 is the only place experiment cells run
-# concurrently; race-check it without paying for the full suite under -race.
-go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12|EXP13|EXP14)' ./internal/bench/
+    echo "== determinism: -canon rows identical at -parallel 1 vs 8 (EXP05, EXP14, EXP15) =="
+    for e in EXP05 EXP14 EXP15; do
+        go run ./cmd/hbpbench -quick -exp "$e" -parallel 1 -canon -json >"$dir/logs/$e.p1.jsonl"
+        go run ./cmd/hbpbench -quick -exp "$e" -parallel 8 -canon -json >"$dir/logs/$e.p8.jsonl"
+        cmp "$dir/logs/$e.p1.jsonl" "$dir/logs/$e.p8.jsonl"
+    done
 
-echo "== gate: docs (package comments + markdown links) =="
-bash scripts/check_docs.sh
-
-echo "== quick grid -> $OUT =="
-go run ./cmd/hbpbench -quick -repeats 2 -out "$OUT" > /dev/null
-dir=$(ls -d "$OUT"/*/ | sort | tail -1)
-dir="${dir%/}"
-echo "archived $dir"
-
-echo "== sanity: csv row counts =="
-rows_csv="$dir/csv/rows.csv"
-summary_csv="$dir/csv/summary.csv"
-jsonl="$dir/rows.jsonl"
-for f in "$rows_csv" "$summary_csv" "$jsonl" "$dir/logs/tables.txt"; do
-    [ -s "$f" ] || { echo "missing or empty: $f" >&2; exit 1; }
-done
-
-nrows=$(($(wc -l < "$rows_csv") - 1))
-nsum=$(($(wc -l < "$summary_csv") - 1))
-njson=$(wc -l < "$jsonl")
-echo "rows.csv: $nrows rows; summary.csv: $nsum groups; rows.jsonl: $njson lines"
-[ "$nrows" -gt 0 ] || { echo "rows.csv has no data rows" >&2; exit 1; }
-[ "$njson" -eq "$nrows" ] || { echo "jsonl/csv row mismatch: $njson vs $nrows" >&2; exit 1; }
-# 2 repeats per cell -> exactly half as many summary groups as rows.
-[ $((nsum * 2)) -eq "$nrows" ] || { echo "summary groups $nsum != rows/$nrows/2" >&2; exit 1; }
-
-head -1 "$rows_csv" | grep -q '^exp,algo,n,p,m,b,' || { echo "unexpected rows.csv header" >&2; exit 1; }
-# every experiment must have produced rows
-for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12 EXP13 EXP14; do
-    grep -q "^$e," "$rows_csv" || { echo "no rows for $e" >&2; exit 1; }
-done
-# EXP13 must sweep the full fj-unified real-backend catalog
-for k in matmul strassen sortx scan fft transpose gather listrank; do
-    grep -q "^EXP13,$k," "$rows_csv" || { echo "EXP13 missing kernel $k" >&2; exit 1; }
-done
-
-echo "== determinism: -canon rows identical at -parallel 1 vs 8 (EXP05, EXP14) =="
-for e in EXP05 EXP14; do
-    go run ./cmd/hbpbench -quick -exp "$e" -parallel 1 -canon -json > "$dir/logs/$e.p1.jsonl"
-    go run ./cmd/hbpbench -quick -exp "$e" -parallel 8 -canon -json > "$dir/logs/$e.p8.jsonl"
-    cmp "$dir/logs/$e.p1.jsonl" "$dir/logs/$e.p8.jsonl"
-done
-
-echo "== model check: no EXP14 row outside its envelope =="
-if grep -q "OUT OF ENVELOPE" "$dir/logs/tables.txt"; then
-    echo "EXP14 rows outside the model envelope:" >&2
-    grep "OUT OF ENVELOPE" "$dir/logs/tables.txt" >&2
-    exit 1
+    echo "== model check: no EXP14/EXP15 row outside its envelope =="
+    if grep -q "OUT OF ENVELOPE" "$dir/logs/tables.txt"; then
+        echo "rows outside the model envelope:" >&2
+        grep "OUT OF ENVELOPE" "$dir/logs/tables.txt" >&2
+        exit 1
+    fi
 fi
 
-echo "run_all: OK ($dir)"
+echo "run_all: OK"
