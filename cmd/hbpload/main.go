@@ -1,0 +1,129 @@
+// Command hbpload is a closed-loop HTTP load generator for hbpserve.  Each
+// client goroutine posts one /invoke request, waits for the response, and
+// immediately posts the next, for a fixed duration; the report gives
+// accepted/rejected counts, throughput, and client-observed p50/p99 latency
+// (measured with the same power-of-two histogram the server exports).
+//
+//	hbpload -url http://localhost:8090 -kernel sort -n 256 -clients 8 -dur 5s
+//
+// Rejections (429 backpressure) are counted, backed off briefly, and
+// retried — a closed-loop generator's offered load adapts to the server,
+// so 429s only appear when the queue bound is small relative to -clients.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type loadRequest struct {
+	Kernel string `json:"kernel"`
+	N      int64  `json:"n"`
+	Seed   uint64 `json:"seed"`
+	Verify bool   `json:"verify,omitempty"`
+}
+
+// hist mirrors internal/serve's power-of-two latency histogram so the
+// client-side report is directly comparable to GET /metrics.
+type hist struct {
+	buckets [65]atomic.Int64
+	count   atomic.Int64
+}
+
+func (h *hist) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+}
+
+func (h *hist) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return 1<<i - 1
+		}
+	}
+	return math.MaxInt64
+}
+
+func main() {
+	var (
+		url     = flag.String("url", "http://localhost:8090", "hbpserve base URL")
+		kernel  = flag.String("kernel", "sort", "kernel to invoke")
+		n       = flag.Int64("n", 256, "problem size per request (server-side generated input)")
+		clients = flag.Int("clients", 8, "concurrent closed-loop clients")
+		dur     = flag.Duration("dur", 5*time.Second, "load duration")
+		verify  = flag.Bool("verify", false, "ask the server to verify each output")
+	)
+	flag.Parse()
+
+	var (
+		ok, rejected, failed atomic.Int64
+		lat                  hist
+		wg                   sync.WaitGroup
+	)
+	deadline := time.Now().Add(*dur)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			seed := uint64(c)*1e6 + 1
+			for time.Now().Before(deadline) {
+				seed++
+				body, _ := json.Marshal(loadRequest{Kernel: *kernel, N: *n, Seed: seed, Verify: *verify})
+				start := time.Now()
+				resp, err := client.Post(*url+"/invoke", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					lat.observe(time.Since(start).Nanoseconds())
+					ok.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+					time.Sleep(time.Millisecond)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	secs := dur.Seconds()
+	fmt.Printf("kernel=%s n=%d clients=%d dur=%s\n", *kernel, *n, *clients, *dur)
+	fmt.Printf("ok=%d rejected=%d failed=%d\n", ok.Load(), rejected.Load(), failed.Load())
+	fmt.Printf("throughput=%.1f req/s p50=%s p99=%s\n",
+		float64(ok.Load())/secs,
+		time.Duration(lat.quantile(0.50)),
+		time.Duration(lat.quantile(0.99)))
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+// Command hbpserve runs the kernel-as-a-service front-end (internal/serve):
+// a long-running HTTP server scheduling invocable catalog kernels (sort,
+// sortx, scan, gather, strassen) on one shared internal/rt work-stealing
+// pool, with a batching scheduler that coalesces small same-kernel requests
+// into single fork-join invocations.
+//
+//	hbpserve -addr :8090 -pool 8 -batch 16 -flush 500us -queue 512
+//
+// Endpoints: POST /invoke (one JSON request), POST /batch (JSONL stream),
+// GET /metrics, GET /kernels, GET /healthz.  Overload answers 429 with a
+// Retry-After header; disconnected clients never get their kernel
+// scheduled.  Drive it with cmd/hbpload; EXP16 measures the same serving
+// stack in-process.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8090", "listen address")
+		pool  = flag.Int("pool", 0, "workers in the shared rt pool (0 = GOMAXPROCS)")
+		batch = flag.Int("batch", 8, "flush a batch at this many same-kernel requests")
+		flush = flag.Duration("flush", 500*time.Microsecond, "flush a partial batch after this long")
+		queue = flag.Int("queue", 256, "admission-queue bound (full queue answers 429)")
+		words = flag.Int64("maxwords", 1<<22, "per-request payload cap in int64 words")
+	)
+	flag.Parse()
+
+	svc := serve.New(serve.Config{
+		Pool:       *pool,
+		BatchSize:  *batch,
+		FlushDelay: *flush,
+		QueueBound: *queue,
+		MaxWords:   *words,
+	})
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	done := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "hbpserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		server.Shutdown(ctx)
+		svc.Close()
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "hbpserve: listening on %s (pool %d, batch %d, flush %s, queue %d)\n",
+		*addr, *pool, *batch, *flush, *queue)
+	if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "hbpserve:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -1,0 +1,298 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algos/gather"
+	"repro/internal/algos/scan"
+	"repro/internal/algos/sortx"
+	"repro/internal/algos/spms"
+	"repro/internal/algos/strassen"
+	"repro/internal/fj"
+)
+
+// Invocation-by-name: the service-facing slice of the catalog.  The rest of
+// the registry assumes in-process callers that build their own inputs with
+// the seeded generators; an Invocable instead accepts a caller-supplied
+// payload — a flat []int64 word vector, the same canonical encoding the
+// cross-backend equality gate compares — validates its shape *before* any
+// kernel code touches it, and writes the kernel's output into a separate
+// word vector.  Malformed payloads come back as errors (the serving layer
+// maps them to 400), never as panics.
+//
+// Payload encodings (all words are int64):
+//
+//	sort, sortx  n keys; output is the n keys sorted ascending
+//	scan         n values; output[i] = sum of values[0..i]
+//	gather       2n words: n indices then n values; output[i] =
+//	             values[idx[i]] for 0 ≤ idx[i] < n, sentinel −1 otherwise
+//	strassen     2n² words: row-major A then B, n a power of two;
+//	             output is the n² words of A·B
+//
+// Invocables run on the real backend only (payloads are native Go memory,
+// wrapped zero-copy via fj.WrapI64); the serving layer schedules Run inside
+// a fork-join invocation on its shared rt.Pool.
+
+// Invocable is a kernel callable by name with a caller-supplied payload.
+type Invocable struct {
+	Name string
+	Desc string
+	// Validate checks the payload's shape (length, encoded-dimension and
+	// index-range constraints).  A nil error guarantees Run will not panic
+	// on this input; n = 0 and n = 1 degenerates are valid for every kernel.
+	Validate func(in []int64) error
+	// OutLen gives the output word count for a valid payload.
+	OutLen func(in []int64) int64
+	// Run executes the kernel on c, reading in and writing all of out
+	// (len(out) = OutLen(in)).  It must only be called after Validate
+	// accepted in, with a real-backend Ctx.
+	Run func(c *fj.Ctx, in, out []int64)
+	// InWords gives the payload word count Gen would build for size n
+	// (saturating instead of overflowing), so callers can enforce payload
+	// caps before anything is allocated.
+	InWords func(n int64) int64
+	// Gen builds the seeded size-n payload the catalog's experiments use —
+	// the serving layer's per-request-seeding path for clients that want a
+	// workload without shipping one.
+	Gen func(n int64, seed uint64) ([]int64, error)
+	// Verify checks out against in from scratch (serially, independent of
+	// the kernel) — the serving layer's output-verification hook.
+	Verify func(in, out []int64) bool
+}
+
+// Invocables returns the service-callable catalog sorted by name.
+func Invocables() []Invocable {
+	out := append([]Invocable(nil), invocables...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindInvocable returns the service-callable kernel with the given name.
+func FindInvocable(name string) (Invocable, bool) {
+	for _, k := range invocables {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Invocable{}, false
+}
+
+// validKeys accepts any flat key vector: every length is a legal sort/scan
+// input, including the empty one.
+func validKeys([]int64) error { return nil }
+
+// sameLen is the OutLen of the in-place-shaped kernels.
+func sameLen(in []int64) int64 { return int64(len(in)) }
+
+// identWords is the InWords of the flat-key kernels (payload = n words).
+func identWords(n int64) int64 { return n }
+
+// satMul multiplies saturating at MaxInt64, for InWords overflow safety.
+func satMul(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return a * b
+	}
+	if a > (1<<63-1)/b {
+		return 1<<63 - 1
+	}
+	return a * b
+}
+
+// genKeys seeds n keys in [0, mod) with the catalog's fill convention.
+func genKeys(n int64, seed uint64, mod int64) ([]int64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("n = %d is negative", n)
+	}
+	out := make([]int64, n)
+	fillI64(fj.WrapI64(out), seed, mod)
+	return out, nil
+}
+
+// verifySorted checks that out is exactly the ascending sort of in.
+func verifySorted(in, out []int64) bool {
+	if len(in) != len(out) {
+		return false
+	}
+	want := append([]int64(nil), in...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if out[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortRun copies the keys and sorts the copy in place with the given
+// fork-join sort.
+func sortRun(kernel func(*fj.Ctx, fj.I64)) func(c *fj.Ctx, in, out []int64) {
+	return func(c *fj.Ctx, in, out []int64) {
+		copy(out, in)
+		kernel(c, fj.WrapI64(out))
+	}
+}
+
+// strassenDim decodes the matrix dimension of a 2n²-word payload, or an
+// error describing the shape violation.
+func strassenDim(words int64) (int64, error) {
+	if words%2 != 0 {
+		return 0, fmt.Errorf("payload has %d words, want 2·n² (A then B)", words)
+	}
+	half := words / 2
+	n := int64(0)
+	for n*n < half {
+		n++
+	}
+	if n*n != half {
+		return 0, fmt.Errorf("payload half %d words is not a square matrix", half)
+	}
+	if n&(n-1) != 0 {
+		return 0, fmt.Errorf("matrix dimension %d is not a power of two", n)
+	}
+	return n, nil
+}
+
+var invocables = []Invocable{
+	{
+		Name: "sort", Desc: "SPMS sort of an int64 key vector (the catalog's spms kernel)",
+		Validate: validKeys,
+		OutLen:   sameLen,
+		Run:      sortRun(spms.FJSort),
+		InWords:  identWords,
+		Gen:      func(n int64, seed uint64) ([]int64, error) { return genKeys(n, seed+12, 1<<30) },
+		Verify:   verifySorted,
+	},
+	{
+		Name: "sortx", Desc: "merge-path merge sort of an int64 key vector",
+		Validate: validKeys,
+		OutLen:   sameLen,
+		Run:      sortRun(sortx.FJSort),
+		InWords:  identWords,
+		Gen:      func(n int64, seed uint64) ([]int64, error) { return genKeys(n, seed+5, 1<<30) },
+		Verify:   verifySorted,
+	},
+	{
+		Name: "scan", Desc: "parallel prefix sums over an int64 vector",
+		Validate: validKeys,
+		OutLen:   sameLen,
+		Run: func(c *fj.Ctx, in, out []int64) {
+			scan.FJPrefix(c, fj.WrapI64(in), fj.WrapI64(out))
+		},
+		InWords: identWords,
+		Gen: func(n int64, seed uint64) ([]int64, error) {
+			if n < 0 {
+				return nil, fmt.Errorf("n = %d is negative", n)
+			}
+			out := make([]int64, n)
+			fillI64Signed(fj.WrapI64(out), seed+6)
+			return out, nil
+		},
+		Verify: func(in, out []int64) bool {
+			if len(in) != len(out) {
+				return false
+			}
+			var s int64
+			for i := range in {
+				s += in[i]
+				if out[i] != s {
+					return false
+				}
+			}
+			return true
+		},
+	},
+	{
+		Name: "gather", Desc: "out[i] = vals[idx[i]] with sentinel −1 for negative indices",
+		Validate: func(in []int64) error {
+			if len(in)%2 != 0 {
+				return fmt.Errorf("payload has %d words, want 2·n (indices then values)", len(in))
+			}
+			n := int64(len(in) / 2)
+			for i := int64(0); i < n; i++ {
+				if in[i] >= n {
+					return fmt.Errorf("index %d at position %d out of range [0,%d)", in[i], i, n)
+				}
+			}
+			return nil
+		},
+		OutLen: func(in []int64) int64 { return int64(len(in) / 2) },
+		Run: func(c *fj.Ctx, in, out []int64) {
+			n := len(in) / 2
+			gather.FJGather(c, fj.WrapI64(in[:n]), fj.WrapI64(in[n:]), fj.WrapI64(out), -1)
+		},
+		InWords: func(n int64) int64 { return satMul(2, n) },
+		Gen: func(n int64, seed uint64) ([]int64, error) {
+			if n < 0 {
+				return nil, fmt.Errorf("n = %d is negative", n)
+			}
+			out := make([]int64, 2*n)
+			fillPartialPerm(fj.WrapI64(out[:n]), n, seed+9)
+			fillI64(fj.WrapI64(out[n:]), seed+10, 1<<30)
+			return out, nil
+		},
+		Verify: func(in, out []int64) bool {
+			n := len(in) / 2
+			if len(in)%2 != 0 || len(out) != n {
+				return false
+			}
+			idx, vals := in[:n], in[n:]
+			for i := 0; i < n; i++ {
+				want := int64(-1)
+				if idx[i] >= 0 {
+					want = vals[idx[i]]
+				}
+				if out[i] != want {
+					return false
+				}
+			}
+			return true
+		},
+	},
+	{
+		Name: "strassen", Desc: "Strassen product of two n×n int64 matrices (n a power of two)",
+		Validate: func(in []int64) error {
+			_, err := strassenDim(int64(len(in)))
+			return err
+		},
+		OutLen: func(in []int64) int64 { return int64(len(in) / 2) },
+		Run: func(c *fj.Ctx, in, out []int64) {
+			n, _ := strassenDim(int64(len(in)))
+			nn := n * n
+			strassen.FJMul(c, fj.WrapI64(in[:nn]), fj.WrapI64(in[nn:]), fj.WrapI64(out), n)
+		},
+		InWords: func(n int64) int64 { return satMul(2, satMul(n, n)) },
+		Gen: func(n int64, seed uint64) ([]int64, error) {
+			if n < 0 || n&(n-1) != 0 {
+				return nil, fmt.Errorf("matrix dimension %d is not a power of two", n)
+			}
+			out := make([]int64, 2*n*n)
+			fillI64(fj.WrapI64(out[:n*n]), seed+3, 10)
+			fillI64(fj.WrapI64(out[n*n:]), seed+4, 10)
+			return out, nil
+		},
+		Verify: func(in, out []int64) bool {
+			n, err := strassenDim(int64(len(in)))
+			if err != nil || int64(len(out)) != n*n {
+				return false
+			}
+			if n == 0 {
+				return true
+			}
+			a, b := in[:n*n], in[n*n:]
+			// Probe fjProbes entries exactly, the catalog's verifier budget.
+			g := LCG(1)
+			for t := 0; t < fjProbes; t++ {
+				i, j := g.Next()%n, g.Next()%n
+				var s int64
+				for k := int64(0); k < n; k++ {
+					s += a[i*n+k] * b[k*n+j]
+				}
+				if out[i*n+j] != s {
+					return false
+				}
+			}
+			return true
+		},
+	},
+}

@@ -1,0 +1,150 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/fj"
+	"repro/internal/rt"
+)
+
+// runInvocable executes k.Run on a fresh 2-worker pool and returns the
+// output payload — the serial-reference harness the serving layer's
+// batched execution is compared against.
+func runInvocable(t *testing.T, k Invocable, in []int64) []int64 {
+	t.Helper()
+	if err := k.Validate(in); err != nil {
+		t.Fatalf("%s: valid payload rejected: %v", k.Name, err)
+	}
+	out := make([]int64, k.OutLen(in))
+	pool := rt.NewPool(2, rt.Random)
+	fj.RunReal(pool, func(c *fj.Ctx) { k.Run(c, in, out) })
+	return out
+}
+
+// TestInvocableValidateTable drives every served kernel's decode path
+// through valid payloads (including the n=0 and n=1 degenerates) and the
+// malformed shapes a service client can ship; malformed payloads must come
+// back as errors — never reach Run, never panic.
+func TestInvocableValidateTable(t *testing.T) {
+	cases := []struct {
+		kernel  string
+		name    string
+		payload []int64
+		ok      bool
+	}{
+		{"sort", "empty", []int64{}, true},
+		{"sort", "single", []int64{7}, true},
+		{"sort", "several", []int64{3, 1, 2}, true},
+		{"sortx", "empty", []int64{}, true},
+		{"sortx", "single", []int64{-9}, true},
+		{"scan", "empty", []int64{}, true},
+		{"scan", "single", []int64{5}, true},
+		{"scan", "negatives", []int64{-1, 4, -2}, true},
+
+		{"gather", "empty", []int64{}, true},
+		{"gather", "single", []int64{0, 42}, true},
+		{"gather", "sentinel", []int64{-1, 0, 10, 20}, true},
+		{"gather", "odd-length", []int64{0, 10, 20}, false},
+		{"gather", "index-out-of-range", []int64{2, 0, 10, 20}, false},
+		{"gather", "index-far-out", []int64{1 << 40, 0, 10, 20}, false},
+
+		{"strassen", "empty", []int64{}, true},
+		{"strassen", "1x1", []int64{3, 5}, true},
+		{"strassen", "2x2", []int64{1, 2, 3, 4, 5, 6, 7, 8}, true},
+		{"strassen", "odd-words", []int64{1, 2, 3}, false},
+		{"strassen", "half-not-square", []int64{1, 2, 3, 4, 5, 6}, false},
+		{"strassen", "dim-not-pow2", make([]int64, 2*9), false}, // 3×3
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.kernel+"/"+tc.name, func(t *testing.T) {
+			k, ok := FindInvocable(tc.kernel)
+			if !ok {
+				t.Fatalf("kernel %q not in the invocable catalog", tc.kernel)
+			}
+			err := k.Validate(tc.payload)
+			if tc.ok && err != nil {
+				t.Fatalf("valid payload rejected: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("malformed payload accepted")
+				}
+				return
+			}
+			// Valid payloads must run to a verifiable output.
+			out := runInvocable(t, k, tc.payload)
+			if !k.Verify(tc.payload, out) {
+				t.Fatalf("output fails verification: in=%v out=%v", tc.payload, out)
+			}
+		})
+	}
+}
+
+// TestInvocableGen pins the seeded-generator path: generated payloads
+// validate, run and verify; equal seeds reproduce, distinct seeds differ;
+// bad sizes are errors, not panics.
+func TestInvocableGen(t *testing.T) {
+	for _, k := range Invocables() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			n := int64(64)
+			a, err := k.Gen(n, 7)
+			if err != nil {
+				t.Fatalf("Gen(%d, 7): %v", n, err)
+			}
+			if err := k.Validate(a); err != nil {
+				t.Fatalf("generated payload invalid: %v", err)
+			}
+			b, _ := k.Gen(n, 7)
+			c, _ := k.Gen(n, 8)
+			if !equalWords(a, b) {
+				t.Fatal("same seed produced different payloads")
+			}
+			if equalWords(a, c) {
+				t.Fatal("different seeds produced identical payloads")
+			}
+			out := runInvocable(t, k, a)
+			if !k.Verify(a, out) {
+				t.Fatalf("generated run fails verification")
+			}
+			if _, err := k.Gen(-1, 0); err == nil {
+				t.Fatal("negative n accepted")
+			}
+		})
+	}
+	// strassen's generator must reject non-power-of-two dimensions.
+	k, _ := FindInvocable("strassen")
+	if _, err := k.Gen(3, 0); err == nil {
+		t.Fatal("strassen Gen accepted a non-power-of-two dimension")
+	}
+}
+
+// TestInvocableDegenerates runs every served kernel at n = 0 and n = 1
+// through the generator path.
+func TestInvocableDegenerates(t *testing.T) {
+	for _, k := range Invocables() {
+		for _, n := range []int64{0, 1} {
+			in, err := k.Gen(n, 3)
+			if err != nil {
+				t.Fatalf("%s: Gen(%d): %v", k.Name, n, err)
+			}
+			out := runInvocable(t, k, in)
+			if !k.Verify(in, out) {
+				t.Fatalf("%s: n=%d degenerate fails verification", k.Name, n)
+			}
+		}
+	}
+}
+
+func equalWords(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/serve"
+)
+
+// EXP16 measures the kernel service (internal/serve): closed-loop clients
+// submit small sort requests in-process and the cell reports end-to-end
+// throughput and queue-to-response latency across offered load (client
+// count) × batch size × pool size.  The quantity under test is the
+// batching scheduler's amortization of the fork-join invocation cost —
+// rt.Pool.Run spins the worker set up and down per invocation, so at small
+// request sizes a batch of k requests costs one invocation instead of k.
+// The headline column is the gain of each batch size over the batch=1
+// baseline at the same client count and pool size; unlike the speedup
+// experiments this gain does not need multiple cores, because the
+// invocation overhead being amortized is paid even at p = 1.
+//
+// Cells are Exclusive (wall-clock must not share the machine with the
+// concurrent harness batch) and rows Volatile, as in EXP12/EXP13.  The
+// configuration that is not row identity — batch size, client count — is
+// encoded in Note together with the verification status, because Note
+// survives harness.Normalize; the measurements live in volatile-zeroed
+// columns (WallNS = cell wall time, Aux1 = requests/s, Aux2/Aux3 = the
+// service's own p50/p99 latency in ns, Bound = runtime.NumCPU(), Ratio =
+// throughput gain over the batch=1 baseline, filled by exp16Finish).  Every
+// request asks the service to verify its output, so the status in Note is
+// also an end-to-end correctness check of the served batches.
+
+// exp16FlushDelay bounds how long a partial batch waits.  It is deliberately
+// generous relative to request latency so that whenever clients ≥ batch the
+// size trigger, not the deadline, flushes — the arm being measured.  The
+// batch > clients arms are the pathological configuration where a closed
+// loop can never fill a batch and the deadline is all that keeps latency
+// bounded; they are in the grid to show that cost.
+const exp16FlushDelay = 200 * time.Microsecond
+
+// exp16N is the per-request problem size: small enough that the fork-join
+// invocation overhead dominates, which is the regime batching targets.
+const exp16N = 256
+
+// exp16Grid is the sweep: client counts (offered load), batch sizes, and
+// pool sizes.
+func exp16Grid(quick bool) (clients, batches, pools []int, requests int) {
+	if quick {
+		return []int{4}, []int{1, 4}, []int{1, 2}, 64
+	}
+	return []int{2, 8}, []int{1, 4, 8}, []int{1, 4}, 256
+}
+
+// exp16Run drives one cell: a fresh service, `clients` closed-loop client
+// goroutines issuing `requests` verified sort submissions between them, and
+// a row built from the wall clock plus the service's own metrics.
+func exp16Run(clients, batch, poolP, requests, rep int, seed uint64) harness.Row {
+	svc := serve.New(serve.Config{
+		Pool:       poolP,
+		BatchSize:  batch,
+		FlushDelay: exp16FlushDelay,
+		// A closed loop has at most `clients` requests in flight, so this
+		// bound can never reject; it exists to keep the admission-control
+		// path identical to production configs.
+		QueueBound: 4 * clients,
+	})
+	defer svc.Close()
+
+	var bad atomic.Int64
+	per := requests / clients
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				resp, err := svc.Submit(context.Background(), serve.Request{
+					Kernel: "sort", N: exp16N,
+					Seed:   seed + uint64(c*per+i),
+					Verify: true,
+				})
+				if err != nil || resp.Verified == nil || !*resp.Verified {
+					bad.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	m := svc.Metrics().Snapshot()
+	total := clients * per
+	return harness.Row{
+		Exp: "EXP16", Algo: "sort", N: exp16N, P: poolP,
+		Sched: "serve", Repeat: rep, Seed: seed,
+		WallNS: el.Nanoseconds(), Volatile: true,
+		Aux1:  float64(total) / el.Seconds(),
+		Aux2:  float64(m.LatencyP50NS),
+		Aux3:  float64(m.LatencyP99NS),
+		Bound: numCPU(),
+		Note:  fmt.Sprintf("batch=%d clients=%d %s", batch, clients, statusNote(bad.Load() == 0)),
+	}
+}
+
+func exp16Cells(p Params) []harness.Cell {
+	clients, batches, pools, requests := exp16Grid(p.Quick)
+	var cells []harness.Cell
+	p.eachRepeat(func(rep int, seed uint64) {
+		for _, cl := range clients {
+			for _, ba := range batches {
+				for _, po := range pools {
+					cl, ba, po := cl, ba, po
+					cells = append(cells, harness.Cell{
+						Exp:   "EXP16",
+						Label: fmt.Sprintf("sort/b%d/c%d/p%d", ba, cl, po),
+						// Wall-clock cells must not share the machine with
+						// the concurrent harness batch.
+						Exclusive: true,
+						Run: func() []harness.Row {
+							return []harness.Row{exp16Run(cl, ba, po, requests, rep, seed)}
+						},
+					})
+				}
+			}
+		}
+	})
+	return cells
+}
+
+// exp16Note recovers the grid coordinates a row's Note encodes.
+func exp16Note(r harness.Row) (batch, clients int, ok bool) {
+	var status string
+	n, err := fmt.Sscanf(r.Note, "batch=%d clients=%d %s", &batch, &clients, &status)
+	return batch, clients, err == nil && n == 3
+}
+
+// exp16Finish fills Ratio = this cell's throughput over the batch=1 cell
+// with the same client count, pool size and repeat — the batching gain.
+func exp16Finish(rows []harness.Row) []harness.Row {
+	for i, r := range rows {
+		batch, clients, ok := exp16Note(r)
+		if !ok || batch == 1 {
+			if ok {
+				rows[i].Ratio = 1
+			}
+			continue
+		}
+		base, found := findRow(rows, func(b harness.Row) bool {
+			bb, bc, bok := exp16Note(b)
+			return bok && bb == 1 && bc == clients && b.P == r.P && b.Repeat == r.Repeat
+		})
+		if found && base.Aux1 > 0 {
+			rows[i].Ratio = r.Aux1 / base.Aux1
+		}
+	}
+	return rows
+}
+
+func exp16Render(w io.Writer, rows []harness.Row) {
+	header(w, "EXP16 — kernel service: throughput and tail latency vs batch size")
+	t := harness.NewTable(w, "kernel", "n", "pool", "batch", "clients", "wall", "req/s", "p50", "p99", "gain", "cpus", "status")
+	for _, r := range rows {
+		batch, clients, ok := exp16Note(r)
+		if !ok {
+			batch, clients = 0, 0
+		}
+		status := ""
+		if len(r.Note) < 2 || r.Note[len(r.Note)-2:] != "ok" {
+			status = "WRONG RESULT"
+		}
+		t.Line(r.Algo, harness.F(r.N), harness.F(r.P), harness.F(batch), harness.F(clients),
+			time.Duration(r.WallNS).Round(time.Microsecond).String(),
+			harness.F(int64(r.Aux1)),
+			time.Duration(int64(r.Aux2)).Round(time.Microsecond).String(),
+			time.Duration(int64(r.Aux3)).Round(time.Microsecond).String(),
+			harness.F(r.Ratio), harness.F(int64(r.Bound)), status)
+	}
+	t.Flush()
+}

@@ -52,6 +52,13 @@ func (e *Env) C128(n int64) C128 {
 	return C128{s: make([]complex128, n)}
 }
 
+// WrapI64 wraps an existing native slice as a real-backend view without
+// copying — the entry point for callers (the kernel service) whose payloads
+// already live in Go memory.  The view shares s, so the caller sees every
+// write the kernel makes.  Wrapped views are real-backend only: they charge
+// nothing and cannot be used under the simulator.
+func WrapI64(s []int64) I64 { return I64{s: s} }
+
 // AllocI64 allocates an n-element int64 view mid-computation: a charged,
 // block-aligned allocation from the executing core's arena on the simulator
 // (the paper's allocation property: per-core allocations never share a

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/algos/registry"
+)
+
+// call is one admitted request riding through the batcher: the decoded
+// payload, the resolved kernel, and the channel its result comes back on.
+// done is buffered so the dispatcher never blocks on a caller that has
+// already abandoned the request.
+type call struct {
+	ctx      context.Context
+	kernel   registry.Invocable
+	in       []int64
+	verify   bool
+	enqueued time.Time
+	done     chan result
+}
+
+// result is what a call resolves to: a response or the error that kept the
+// kernel from running (cancellation, shutdown, a kernel failure).
+type result struct {
+	resp Response
+	err  error
+}
+
+// batcher coalesces admitted calls into same-kernel batches.  A single
+// dispatcher goroutine owns batch assembly and execution, so batches run
+// one at a time on the service's shared pool: it takes the oldest queued
+// call, then keeps appending calls for the same kernel until the batch
+// reaches size or the flush deadline (measured from assembly start)
+// expires.  A call for a *different* kernel ends the current batch and
+// seeds the next one, so heterogeneous traffic still makes progress.
+// Cancelled calls are dropped — their kernel is never scheduled — both on
+// arrival and in a final sweep right before the batch runs.
+//
+// The queue is a bounded channel: admission control is a non-blocking send,
+// so an overloaded service reports backpressure instead of queueing without
+// limit, and the queue slot is released as soon as the dispatcher picks the
+// call up (whether it runs or is dropped).
+type batcher struct {
+	queue chan *call
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed against concurrent enqueues
+	closed bool
+
+	size  int
+	flush time.Duration
+	run   func(batch []*call)      // executes a non-empty same-kernel batch
+	drop  func(c *call, err error) // resolves a call without scheduling it
+}
+
+// newBatcher starts the dispatcher.  size is the flush width, flush the
+// partial-batch deadline, bound the queue capacity.
+func newBatcher(size int, flush time.Duration, bound int, run func([]*call), drop func(*call, error)) *batcher {
+	b := &batcher{
+		queue: make(chan *call, bound),
+		stop:  make(chan struct{}),
+		size:  size,
+		flush: flush,
+		run:   run,
+		drop:  drop,
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// enqueue admits c, or reports ErrOverloaded (queue full) / ErrClosed
+// (service shut down) without blocking.
+func (b *batcher) enqueue(c *call) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrClosed
+	}
+	select {
+	case b.queue <- c:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// depth reports the number of calls waiting in the queue (not counting a
+// batch under assembly).
+func (b *batcher) depth() int { return len(b.queue) }
+
+// close stops admission, waits for the dispatcher to finish its current
+// batch, and resolves everything still queued with ErrClosed.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	b.wg.Wait()
+	// No enqueue can succeed after closed was set, so this drain is final.
+	for {
+		select {
+		case c := <-b.queue:
+			b.drop(c, ErrClosed)
+		default:
+			return
+		}
+	}
+}
+
+// loop is the dispatcher: assemble one batch, run it, repeat.
+func (b *batcher) loop() {
+	defer b.wg.Done()
+	var hold *call // first call of the next batch, when a kernel mismatch cut assembly short
+	for {
+		first := hold
+		hold = nil
+		if first == nil {
+			select {
+			case first = <-b.queue:
+			case <-b.stop:
+				return
+			}
+		}
+		if first.ctx.Err() != nil {
+			b.drop(first, first.ctx.Err())
+			continue
+		}
+		batch := []*call{first}
+		if b.size > 1 {
+			timer := time.NewTimer(b.flush)
+		collect:
+			for len(batch) < b.size {
+				select {
+				case c := <-b.queue:
+					if c.ctx.Err() != nil {
+						b.drop(c, c.ctx.Err())
+						continue
+					}
+					if c.kernel.Name != first.kernel.Name {
+						hold = c
+						break collect
+					}
+					batch = append(batch, c)
+				case <-timer.C:
+					break collect
+				case <-b.stop:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		// Final cancellation sweep: a call abandoned while the batch was
+		// assembling must not reach the pool.
+		live := batch[:0]
+		for _, c := range batch {
+			if err := c.ctx.Err(); err != nil {
+				b.drop(c, err)
+				continue
+			}
+			live = append(live, c)
+		}
+		if len(live) > 0 {
+			b.run(live)
+		}
+		select {
+		case <-b.stop:
+			if hold != nil {
+				b.drop(hold, ErrClosed)
+			}
+			return
+		default:
+		}
+	}
+}

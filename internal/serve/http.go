@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/algos/registry"
+)
+
+// HTTP surface of the service:
+//
+//	POST /invoke   one JSON Request  -> one JSON Response
+//	POST /batch    JSONL stream of Requests -> JSONL stream of Responses
+//	               (responses in request order; per-request errors inline)
+//	GET  /metrics  Snapshot as JSON
+//	GET  /kernels  the invocable catalog: [{"name": ..., "desc": ...}, ...]
+//	GET  /healthz  "ok"
+//
+// Error mapping: unknown kernel 404, malformed payload 400, backpressure
+// 429 with a Retry-After header, shutdown 503, kernel failure 500.  A
+// request whose client disconnected is simply dropped — its kernel never
+// ran (see the batcher's cancellation sweep) and there is nobody left to
+// answer.
+
+// httpError is the JSON error body every non-2xx response carries.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke", s.handleInvoke)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /kernels", s.handleKernels)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds suggests when an overloaded client should try again:
+// one flush interval, rounded up to a whole second (the header's unit).
+func (s *Service) retryAfterSeconds() int {
+	sec := int((s.cfg.FlushDelay + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// writeSubmitError maps a Submit error onto its HTTP status.  It reports
+// whether anything was written (a vanished client gets nothing).
+func (s *Service) writeSubmitError(w http.ResponseWriter, err error) bool {
+	var status int
+	switch {
+	case errors.Is(err, ErrUnknownKernel):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrKernel):
+		status = http.StatusInternalServerError
+	default:
+		// Context cancellation: the client is gone; nothing to say.
+		return false
+	}
+	writeJSON(w, status, httpError{Error: err.Error()})
+	return true
+}
+
+func (s *Service) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	resp, err := s.Submit(r.Context(), req)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch reads a JSONL stream of requests, submits them all
+// concurrently (so they can coalesce into batches), and streams the
+// responses back as JSONL in request order.  Requests the admission queue
+// turns away come back as inline {"error": ...} lines — the stream itself
+// stays 200 once the first byte is written.
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	var reqs []Request
+	for {
+		var q Request
+		if err := dec.Decode(&q); err == io.EOF {
+			break
+		} else if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				httpError{Error: "bad JSONL at request " + strconv.Itoa(len(reqs)+1) + ": " + err.Error()})
+			return
+		}
+		reqs = append(reqs, q)
+	}
+	results := make([]result, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Submit(r.Context(), reqs[i])
+			results[i] = result{resp: resp, err: err}
+		}(i)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/jsonl")
+	enc := json.NewEncoder(w)
+	for _, res := range results {
+		if res.err != nil {
+			enc.Encode(httpError{Error: res.err.Error()})
+			continue
+		}
+		enc.Encode(res.resp)
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}
+
+func (s *Service) handleKernels(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name string `json:"name"`
+		Desc string `json:"desc"`
+	}
+	var out []entry
+	for _, k := range registry.Invocables() {
+		out = append(out, entry{Name: k.Name, Desc: k.Desc})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Metrics is the service's counter set.  Everything is lock-free: plain
+// atomic counters plus a power-of-two latency histogram, so the hot path
+// adds a handful of uncontended atomic increments per request.
+type Metrics struct {
+	accepted  atomic.Int64 // admitted to the queue
+	rejected  atomic.Int64 // turned away with backpressure (429)
+	canceled  atomic.Int64 // dropped before scheduling: caller abandoned the request
+	completed atomic.Int64 // responses delivered
+	failed    atomic.Int64 // resolved with a non-cancellation error
+	batches   atomic.Int64 // fork-join invocations run on the pool
+	batched   atomic.Int64 // requests carried by those invocations
+	maxBatch  atomic.Int64 // widest batch so far
+
+	latency histogram
+
+	queueDepth func() int // live queue depth, wired to the batcher
+}
+
+// Snapshot is the JSON shape /metrics serves.  Latency quantiles come from
+// the power-of-two histogram, so they are upper bounds with at most 2×
+// resolution — honest enough for dashboards, cheap enough for the hot path.
+type Snapshot struct {
+	Accepted        int64 `json:"accepted"`
+	Rejected        int64 `json:"rejected"`
+	Canceled        int64 `json:"canceled"`
+	Completed       int64 `json:"completed"`
+	Failed          int64 `json:"failed"`
+	Batches         int64 `json:"batches"`
+	BatchedRequests int64 `json:"batched_requests"`
+	MaxBatch        int64 `json:"max_batch"`
+	QueueDepth      int   `json:"queue_depth"`
+	LatencyP50NS    int64 `json:"latency_p50_ns"`
+	LatencyP99NS    int64 `json:"latency_p99_ns"`
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	depth := 0
+	if m.queueDepth != nil {
+		depth = m.queueDepth()
+	}
+	return Snapshot{
+		Accepted:        m.accepted.Load(),
+		Rejected:        m.rejected.Load(),
+		Canceled:        m.canceled.Load(),
+		Completed:       m.completed.Load(),
+		Failed:          m.failed.Load(),
+		Batches:         m.batches.Load(),
+		BatchedRequests: m.batched.Load(),
+		MaxBatch:        m.maxBatch.Load(),
+		QueueDepth:      depth,
+		LatencyP50NS:    m.latency.quantile(0.50),
+		LatencyP99NS:    m.latency.quantile(0.99),
+	}
+}
+
+// observeBatch records one executed fork-join invocation of the given width.
+func (m *Metrics) observeBatch(width int) {
+	m.batches.Add(1)
+	m.batched.Add(int64(width))
+	for {
+		cur := m.maxBatch.Load()
+		if int64(width) <= cur || m.maxBatch.CompareAndSwap(cur, int64(width)) {
+			return
+		}
+	}
+}
+
+// histogram buckets latencies by their binary order of magnitude: bucket i
+// holds observations with bit length i, i.e. values in [2^(i−1), 2^i).
+type histogram struct {
+	buckets [65]atomic.Int64
+	count   atomic.Int64
+}
+
+// observe records one latency sample.
+func (h *histogram) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+}
+
+// quantile returns an upper bound on the q-quantile (0 < q ≤ 1): the top of
+// the bucket holding the rank-⌈q·count⌉ observation, or 0 with no samples.
+func (h *histogram) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return 1<<63 - 1
+}

@@ -1,0 +1,449 @@
+package serve
+
+// The service-level test battery: end-to-end HTTP tests asserting batched
+// responses are byte-identical to per-request serial execution, a -race
+// stress run with concurrent clients on one shared pool, cancellation
+// (an abandoned request's kernel is never scheduled and its queue slot is
+// released), and backpressure (overload answers 429, nothing deadlocks,
+// the queue drains).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/algos/registry"
+	"repro/internal/fj"
+	"repro/internal/rt"
+)
+
+// serialReference runs one request on a private single-worker pool, outside
+// the service — the per-request serial execution batched responses must
+// match byte for byte.
+func serialReference(t *testing.T, kernel string, in []int64) []int64 {
+	t.Helper()
+	k, ok := registry.FindInvocable(kernel)
+	if !ok {
+		t.Fatalf("kernel %q not invocable", kernel)
+	}
+	if err := k.Validate(in); err != nil {
+		t.Fatalf("reference input invalid: %v", err)
+	}
+	out := make([]int64, k.OutLen(in))
+	pool := rt.NewPool(1, rt.Random)
+	fj.RunReal(pool, func(c *fj.Ctx) { k.Run(c, in, out) })
+	return out
+}
+
+// postInvoke sends one request to the test server and decodes the response.
+func postInvoke(t *testing.T, url string, req Request) (Response, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(url+"/invoke", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var resp Response
+	if hr.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, hr
+}
+
+// genInput builds the i-th seeded payload for a kernel at a test-friendly
+// size.
+func genInput(t *testing.T, kernel string, i int) []int64 {
+	t.Helper()
+	k, _ := registry.FindInvocable(kernel)
+	n := int64(512)
+	if kernel == "strassen" {
+		n = 16
+	}
+	in, err := k.Gen(n, uint64(1000+i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestBatchedByteIdenticalToSerial is the headline end-to-end gate: for
+// every served kernel, eight concurrent HTTP requests coalesce into one
+// eight-wide fork-join invocation (batch size 8, long flush), and every
+// response's output is byte-identical to running that request alone on a
+// serial pool.
+func TestBatchedByteIdenticalToSerial(t *testing.T) {
+	const width = 8
+	for _, k := range registry.Invocables() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			svc := New(Config{Pool: 4, BatchSize: width, FlushDelay: 10 * time.Second, QueueBound: 64})
+			defer svc.Close()
+			ts := httptest.NewServer(svc.Handler())
+			defer ts.Close()
+
+			inputs := make([][]int64, width)
+			for i := range inputs {
+				inputs[i] = genInput(t, k.Name, i)
+			}
+			resps := make([]Response, width)
+			var wg sync.WaitGroup
+			for i := 0; i < width; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					resp, hr := postInvoke(t, ts.URL, Request{Kernel: k.Name, Input: inputs[i], Verify: true})
+					if hr.StatusCode != http.StatusOK {
+						t.Errorf("request %d: status %d", i, hr.StatusCode)
+						return
+					}
+					resps[i] = resp
+				}(i)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			for i := 0; i < width; i++ {
+				if resps[i].Batched != width {
+					t.Errorf("request %d rode a %d-wide batch, want %d", i, resps[i].Batched, width)
+				}
+				if resps[i].Verified == nil || !*resps[i].Verified {
+					t.Errorf("request %d: service-side verification failed", i)
+				}
+				want := serialReference(t, k.Name, inputs[i])
+				if len(resps[i].Output) != len(want) {
+					t.Fatalf("request %d: output length %d, want %d", i, len(resps[i].Output), len(want))
+				}
+				for j := range want {
+					if resps[i].Output[j] != want[j] {
+						t.Fatalf("request %d: output word %d = %d, serial reference = %d (batched execution diverged)",
+							i, j, resps[i].Output[j], want[j])
+					}
+				}
+			}
+			m := svc.Metrics().Snapshot()
+			if m.Batches != 1 || m.BatchedRequests != width {
+				t.Errorf("metrics: %d batches carrying %d requests, want 1 carrying %d", m.Batches, m.BatchedRequests, width)
+			}
+		})
+	}
+}
+
+// TestConcurrentClientsStress hammers one shared pool from many concurrent
+// HTTP clients with mixed kernels; run under -race in CI.  Every response
+// must match its own serial reference — no cross-request bleed under
+// concurrency.
+func TestConcurrentClientsStress(t *testing.T) {
+	svc := New(Config{Pool: 4, BatchSize: 4, FlushDelay: time.Millisecond, QueueBound: 256})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	kernels := []string{"sort", "scan", "gather", "sortx"}
+	const clients, perClient = 8, 12
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				kernel := kernels[(c+r)%len(kernels)]
+				in := genInput(t, kernel, c*perClient+r)
+				resp, hr := postInvoke(t, ts.URL, Request{Kernel: kernel, Input: in})
+				if hr.StatusCode != http.StatusOK {
+					t.Errorf("client %d req %d: status %d", c, r, hr.StatusCode)
+					return
+				}
+				k, _ := registry.FindInvocable(kernel)
+				if !k.Verify(in, resp.Output) {
+					t.Errorf("client %d req %d (%s): wrong output", c, r, kernel)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	m := svc.Metrics().Snapshot()
+	if want := int64(clients * perClient); m.Completed != want {
+		t.Errorf("completed %d responses, want %d", m.Completed, want)
+	}
+	if m.Failed != 0 || m.Canceled != 0 {
+		t.Errorf("stress run recorded failures: %+v", m)
+	}
+}
+
+// TestCancellationNeverSchedules pins the cancellation contract: a request
+// abandoned before its batch flushes is dropped — its kernel never runs on
+// the pool — and its queue slot is freed.
+func TestCancellationNeverSchedules(t *testing.T) {
+	var widths atomic.Int64
+	svc := New(Config{Pool: 1, BatchSize: 2, FlushDelay: 300 * time.Millisecond, QueueBound: 2})
+	svc.hookBatch = func(w int) { widths.Add(int64(w)) }
+	defer svc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := svc.Submit(ctx, Request{Kernel: "sort", N: 64, Seed: 1})
+		errc <- err
+	}()
+	// Wait until the request is admitted, then abandon it.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Metrics().Snapshot().Accepted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("abandoned Submit returned %v, want context.Canceled", err)
+	}
+
+	// A live request must still get through, and the batch that runs it
+	// must not contain the cancelled one.
+	resp, err := svc.Submit(context.Background(), Request{Kernel: "sort", N: 64, Seed: 2})
+	if err != nil {
+		t.Fatalf("follow-up request failed: %v", err)
+	}
+	if resp.Batched != 1 {
+		t.Errorf("follow-up rode a %d-wide batch, want 1 (cancelled call must not be scheduled)", resp.Batched)
+	}
+	if got := widths.Load(); got != 1 {
+		t.Errorf("pool saw %d batched requests, want 1 — the cancelled request was scheduled", got)
+	}
+	m := svc.Metrics().Snapshot()
+	if m.Canceled != 1 {
+		t.Errorf("canceled counter = %d, want 1", m.Canceled)
+	}
+
+	// Queue slots released: the full bound is usable again, concurrently.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := svc.Submit(context.Background(), Request{Kernel: "sort", N: 32, Seed: uint64(i)}); err != nil {
+				t.Errorf("post-cancel request %d failed: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestClientDisconnectHTTP is the cancellation contract at the HTTP layer:
+// a client that disconnects mid-wait never gets its kernel scheduled.
+func TestClientDisconnectHTTP(t *testing.T) {
+	var widths atomic.Int64
+	svc := New(Config{Pool: 1, BatchSize: 8, FlushDelay: 500 * time.Millisecond, QueueBound: 8})
+	svc.hookBatch = func(w int) { widths.Add(int64(w)) }
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(Request{Kernel: "sort", N: 64})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/invoke", bytes.NewReader(body))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Metrics().Snapshot().Accepted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("disconnected client got a response")
+	}
+	// The flush deadline passes; the dropped call must not have run.
+	deadline = time.Now().Add(5 * time.Second)
+	for svc.Metrics().Snapshot().Canceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("service never dropped the abandoned request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := widths.Load(); got != 0 {
+		t.Errorf("pool ran %d requests, want 0", got)
+	}
+}
+
+// TestBackpressure fills the admission queue behind a deliberately stalled
+// batch: the overflow request must get an immediate 429 with Retry-After,
+// nothing may deadlock, and opening the gate must drain everything.
+func TestBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+
+	svc := New(Config{Pool: 1, BatchSize: 1, FlushDelay: time.Millisecond, QueueBound: 2})
+	entered := make(chan struct{}, 16)
+	svc.hookBatch = func(int) {
+		entered <- struct{}{}
+		<-gate
+	}
+	defer svc.Close()
+	defer openGate()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// First request occupies the pool (the hook stalls its batch)...
+	results := make(chan int, 3)
+	post := func() {
+		_, hr := postInvoke(t, ts.URL, Request{Kernel: "sort", N: 64})
+		results <- hr.StatusCode
+	}
+	go post()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first batch never reached the pool")
+	}
+	// ...the next two fill the queue...
+	go post()
+	go post()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.b.depth() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d, want 2", svc.b.depth())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// ...and the overflow request is turned away immediately.
+	_, hr := postInvoke(t, ts.URL, Request{Kernel: "sort", N: 64})
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request got status %d, want 429", hr.StatusCode)
+	}
+	if hr.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After header")
+	}
+	if m := svc.Metrics().Snapshot(); m.Rejected == 0 {
+		t.Error("rejected counter not incremented")
+	}
+
+	// Open the gate: everything queued must drain to 200s.
+	openGate()
+	for i := 0; i < 3; i++ {
+		// Drain the stalled batches' hook entries so none block.
+		select {
+		case status := <-results:
+			if status != http.StatusOK {
+				t.Errorf("drained request got status %d", status)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("queued requests did not drain — deadlock")
+		}
+	}
+}
+
+// TestMalformedPayloads400 drives the decode path over the wire: malformed
+// payloads must come back 400 (never a panic/500), unknown kernels 404, and
+// the service must stay healthy throughout.
+func TestMalformedPayloads400(t *testing.T) {
+	svc := New(Config{Pool: 1, BatchSize: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"unknown kernel", `{"kernel":"fft","n":8}`, http.StatusNotFound},
+		{"gather odd payload", `{"kernel":"gather","input":[0,10,20]}`, http.StatusBadRequest},
+		{"gather index out of range", `{"kernel":"gather","input":[2,0,10,20]}`, http.StatusBadRequest},
+		{"strassen non-square", `{"kernel":"strassen","input":[1,2,3,4,5,6]}`, http.StatusBadRequest},
+		{"strassen non-pow2 request", `{"kernel":"strassen","n":3}`, http.StatusBadRequest},
+		{"negative n", `{"kernel":"sort","n":-5}`, http.StatusBadRequest},
+		{"oversized n", `{"kernel":"sort","n":99999999999}`, http.StatusBadRequest},
+		{"bad json", `{"kernel":`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hr, err := http.Post(ts.URL+"/invoke", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hr.Body.Close()
+			if hr.StatusCode != tc.status {
+				t.Errorf("status %d, want %d", hr.StatusCode, tc.status)
+			}
+			var e httpError
+			if err := json.NewDecoder(hr.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Errorf("error body missing or undecodable: %v", err)
+			}
+		})
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("service unhealthy after malformed payloads: %v %v", err, hr)
+	}
+	hr.Body.Close()
+}
+
+// TestBatchEndpointJSONL exercises the JSONL stream surface: responses come
+// back one JSON object per request, in request order, with inline errors.
+func TestBatchEndpointJSONL(t *testing.T) {
+	svc := New(Config{Pool: 2, BatchSize: 4, FlushDelay: 2 * time.Millisecond, QueueBound: 64})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	const reqs = 6
+	for i := 0; i < reqs; i++ {
+		fmt.Fprintf(&buf, `{"kernel":"scan","n":%d,"seed":%d}`+"\n", 32+i, i)
+	}
+	buf.WriteString(`{"kernel":"nope","n":4}` + "\n")
+	hr, err := http.Post(ts.URL+"/batch", "application/jsonl", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", hr.StatusCode)
+	}
+	dec := json.NewDecoder(hr.Body)
+	for i := 0; i < reqs; i++ {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if resp.Kernel != "scan" || resp.N != int64(32+i) {
+			t.Errorf("response %d out of order: kernel %s n %d", i, resp.Kernel, resp.N)
+		}
+	}
+	var e httpError
+	if err := dec.Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("missing inline error for the bad request: %v", err)
+	}
+}
+
+// TestSubmitAfterClose pins the shutdown contract.
+func TestSubmitAfterClose(t *testing.T) {
+	svc := New(Config{Pool: 1})
+	svc.Close()
+	if _, err := svc.Submit(context.Background(), Request{Kernel: "sort", N: 4}); err != ErrClosed {
+		t.Fatalf("Submit after Close returned %v, want ErrClosed", err)
+	}
+	svc.Close() // idempotent
+}

@@ -47,10 +47,16 @@ if [ "$MODE" != grid ]; then
     # compares its outputs against the sim lowering byte for byte.
     go test -race ./internal/fj/ ./internal/algos/registry/
 
+    echo "== gate: -race over the kernel service (batcher + HTTP battery) =="
+    # The serve battery exercises concurrent clients, cancellation and
+    # backpressure; the fuzz seed corpus runs as ordinary test cases here,
+    # so every committed FuzzBatcher seed stays green.
+    go test -race -run 'Test|FuzzBatcher' ./internal/serve/
+
     echo "== gate: -race over concurrently executing grid cells =="
     # A golden subset at -parallel 8 is the only place experiment cells run
     # concurrently; race-check it without paying for the full suite under -race.
-    go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12|EXP13|EXP14|EXP15)' ./internal/bench/
+    go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12|EXP13|EXP14|EXP15|EXP16)' ./internal/bench/
 
     echo "== gate: docs (package comments + markdown links) =="
     bash scripts/check_docs.sh
@@ -97,7 +103,7 @@ if [ "$MODE" != verify ]; then
         exit 1
     }
     # every experiment must have produced rows
-    for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12 EXP13 EXP14 EXP15; do
+    for e in EXP01 EXP02 EXP03 EXP04 EXP05 EXP06 EXP07 EXP08 EXP09 EXP10 EXP11 EXP12 EXP13 EXP14 EXP15 EXP16; do
         grep -q "^$e," "$rows_csv" || {
             echo "no rows for $e" >&2
             exit 1
@@ -110,9 +116,23 @@ if [ "$MODE" != verify ]; then
             exit 1
         }
     done
+    # EXP16 must cover both arms of the batching comparison and verify them
+    grep -q '^EXP16,sort,.*batch=1 ' "$rows_csv" || {
+        echo "EXP16 missing the batch=1 baseline" >&2
+        exit 1
+    }
+    grep -q '^EXP16,sort,.*batch=4 ' "$rows_csv" || {
+        echo "EXP16 missing the batched arm" >&2
+        exit 1
+    }
+    if grep '^EXP16,' "$rows_csv" | grep -qv ' ok'; then
+        echo "EXP16 rows failed output verification:" >&2
+        grep '^EXP16,' "$rows_csv" | grep -v ' ok' >&2
+        exit 1
+    fi
 
-    echo "== determinism: -canon rows identical at -parallel 1 vs 8 (EXP05, EXP14, EXP15) =="
-    for e in EXP05 EXP14 EXP15; do
+    echo "== determinism: -canon rows identical at -parallel 1 vs 8 (EXP05, EXP14, EXP15, EXP16) =="
+    for e in EXP05 EXP14 EXP15 EXP16; do
         go run ./cmd/hbpbench -quick -exp "$e" -parallel 1 -canon -json >"$dir/logs/$e.p1.jsonl"
         go run ./cmd/hbpbench -quick -exp "$e" -parallel 8 -canon -json >"$dir/logs/$e.p8.jsonl"
         cmp "$dir/logs/$e.p1.jsonl" "$dir/logs/$e.p8.jsonl"
