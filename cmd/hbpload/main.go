@@ -34,10 +34,13 @@ type loadRequest struct {
 }
 
 // hist mirrors internal/serve's power-of-two latency histogram so the
-// client-side report is directly comparable to GET /metrics.
+// client-side report is directly comparable to GET /metrics — including the
+// layout: count, bumped by every client on every observation, sits on a
+// private cache line ahead of the bucket array.
 type hist struct {
-	buckets [65]atomic.Int64
 	count   atomic.Int64
+	_       [56]byte
+	buckets [65]atomic.Int64
 }
 
 func (h *hist) observe(ns int64) {

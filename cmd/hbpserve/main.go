@@ -4,13 +4,15 @@
 // pool, with a batching scheduler that coalesces small same-kernel requests
 // into single fork-join invocations.
 //
-//	hbpserve -addr :8090 -pool 8 -batch 16 -flush 500us -queue 512
+//	hbpserve -addr :8090 -pool 8 -batch 16 -flush 500us -queue 512 -rate 100
 //
 // Endpoints: POST /invoke (one JSON request), POST /batch (JSONL stream),
 // GET /metrics, GET /kernels, GET /healthz.  Overload answers 429 with a
 // Retry-After header; disconnected clients never get their kernel
-// scheduled.  Drive it with cmd/hbpload; EXP16 measures the same serving
-// stack in-process.
+// scheduled; with -rate set, each client (X-Client-ID header, falling back
+// to the remote host) is limited to that many requests per second with
+// burst -burst, and per-client counts appear on /metrics.  Drive it with
+// cmd/hbpload; EXP16 measures the same serving stack in-process.
 package main
 
 import (
@@ -34,6 +36,8 @@ func main() {
 		flush = flag.Duration("flush", 500*time.Microsecond, "flush a partial batch after this long")
 		queue = flag.Int("queue", 256, "admission-queue bound (full queue answers 429)")
 		words = flag.Int64("maxwords", 1<<22, "per-request payload cap in int64 words")
+		rate  = flag.Float64("rate", 0, "per-client requests/second (0 = no rate limiting)")
+		burst = flag.Int("burst", 0, "per-client burst (0 = ceil of -rate)")
 	)
 	flag.Parse()
 
@@ -43,6 +47,8 @@ func main() {
 		FlushDelay: *flush,
 		QueueBound: *queue,
 		MaxWords:   *words,
+		RatePerSec: *rate,
+		RateBurst:  *burst,
 	})
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

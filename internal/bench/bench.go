@@ -95,7 +95,7 @@ func rowFrom(exp string, algo string, n int64, spec Spec, res core.Result, wall 
 
 // measure runs one (algo, n, spec) cell and returns its row.
 func measure(exp string, a Algo, n int64, spec Spec) harness.Row {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock feeds only WallNS, which Normalize zeroes for -canon
 	res := Run(a, n, spec)
 	return rowFrom(exp, a.Name, n, spec, res, time.Since(start))
 }

@@ -65,7 +65,7 @@ func exp01Cells(p Params) []harness.Cell {
 
 // tracedRow runs one algorithm with the f(r)/L(r) tracer attached.
 func tracedRow(a Algo, n int64, spec Spec) harness.Row {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock feeds only WallNS, which Normalize zeroes for -canon
 	m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
 	root := a.Build(m, n, spec.Seed)
 	eng := core.NewEngine(m, scheduler(spec), core.Options{})

@@ -63,7 +63,7 @@ func exp10Cells(p Params) []harness.Cell {
 // runLRRow measures one list-ranking run (LR needs its own builder because
 // the gapping cutoff is an option, not a catalog entry).
 func runLRRow(n int64, spec Spec, nogap bool) harness.Row {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism wall-clock feeds only WallNS, which Normalize zeroes for -canon
 	m := machine.New(machine.Config{P: spec.P, M: spec.M, B: spec.B, MissLatency: spec.MissLatency})
 	succ := randPermList(m.Space, n, spec.Seed+14)
 	rank := mem.NewArray(m.Space, n)

@@ -44,7 +44,7 @@ func exp12Cells(p Params) []harness.Cell {
 					Run: func() []harness.Row {
 						pool := rt.NewPool(pr, policy)
 						var got int64
-						start := time.Now()
+						start := time.Now() //lint:allow determinism wall-clock feeds WallNS and Volatile-row fields, all zeroed by Normalize for -canon
 						pool.Run(func(c *rt.Ctx) {
 							got = c.Reduce(0, n, 2048, func(i int) int64 { return data[i] })
 						})

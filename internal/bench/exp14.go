@@ -147,6 +147,7 @@ func exp14Finish(rows []harness.Row) []harness.Row {
 		k := groupKey{r.Algo, r.Note, r.Sched, r.P, r.B, r.Repeat}
 		groups[k] = append(groups[k], i)
 	}
+	//lint:allow determinism groups partition the row indices, so each row is written by exactly one iteration and order cannot matter
 	for _, idx := range groups {
 		sort.Slice(idx, func(a, b int) bool { return rows[idx[a]].N < rows[idx[b]].N })
 		m, ok := model.For(rows[idx[0]].Algo)

@@ -99,6 +99,7 @@ func exp15Finish(rows []harness.Row) []harness.Row {
 		k := key{r.Algo, r.Repeat}
 		groups[k] = append(groups[k], i)
 	}
+	//lint:allow determinism groups partition the row indices, so each row is written by exactly one iteration and order cannot matter
 	for _, idx := range groups {
 		sort.Slice(idx, func(a, b int) bool { return rows[idx[a]].N < rows[idx[b]].N })
 		form := exp15Form(rows[idx[0]].Algo)

@@ -190,7 +190,7 @@ func TestUnjoinedForkPanics(t *testing.T) {
 		}
 	}()
 	RunSim(m, sched.NewPWS(), core.Options{}, 1, "bad", func(c *Ctx) {
-		c.Fork(func(*Ctx) {})
+		c.Fork(func(*Ctx) {}) //lint:allow fjdiscipline deliberate violation: asserts the sim lowering panics on an unjoined fork
 	})
 }
 

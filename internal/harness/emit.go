@@ -151,6 +151,7 @@ func ParseJSONL(r io.Reader) ([]Row, error) {
 			return nil, fmt.Errorf("harness: JSONL line %d: %w", line, err)
 		}
 		var row Row
+		//lint:allow determinism each JSON key sets a distinct Row field, so iteration order cannot change the decoded row
 		for k, raw := range obj {
 			c, ok := byName[k]
 			if !ok {

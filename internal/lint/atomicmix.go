@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// AtomicMix returns the mixed-access analyzer: a struct field whose address
+// the package passes to sync/atomic functions must never also be read or
+// written with plain loads and stores.  The -race detector reports such a
+// mix only when the bad interleaving actually happens at runtime; the
+// analyzer reports it from the program text.  (Fields of the typed
+// sync/atomic wrappers cannot be accessed plainly at all, which is why the
+// repo prefers them; this check covers the legacy &field call style.)
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "struct field accessed both through sync/atomic and by plain load/store",
+		Run:  runAtomicMix,
+	}
+}
+
+// atomicFieldAccesses scans the package for sync/atomic calls whose operand
+// is the address of a struct field.  It returns the fields so accessed
+// (with the call positions) and the set of selector nodes consumed by those
+// calls, so a second pass can tell the remaining, plain accesses apart.
+func atomicFieldAccesses(p *Package) (fields map[*types.Var][]token.Pos, consumed map[*ast.SelectorExpr]bool) {
+	fields = map[*types.Var][]token.Pos{}
+	consumed = map[*ast.SelectorExpr]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := selectedField(p, sel); v != nil {
+					fields[v] = append(fields[v], call.Pos())
+					consumed[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields, consumed
+}
+
+// isAtomicFuncCall reports whether call invokes a package-level function of
+// sync/atomic (atomic.AddInt64, atomic.LoadUint32, ...).
+func isAtomicFuncCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// selectedField resolves sel to the struct field it selects, or nil.
+func selectedField(p *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+func runAtomicMix(p *Package) []Finding {
+	atomicFields, consumed := atomicFieldAccesses(p)
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	type plain struct {
+		v   *types.Var
+		pos token.Pos
+	}
+	var plains []plain
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			v := selectedField(p, sel)
+			if v == nil || len(atomicFields[v]) == 0 {
+				return true
+			}
+			plains = append(plains, plain{v: v, pos: sel.Sel.Pos()})
+			return true
+		})
+	}
+	sort.Slice(plains, func(i, j int) bool { return plains[i].pos < plains[j].pos })
+	var out []Finding
+	seen := map[*types.Var]bool{} // one finding per field, at its first plain access
+	for _, pl := range plains {
+		if seen[pl.v] {
+			continue
+		}
+		seen[pl.v] = true
+		atomicAt := p.Fset.Position(atomicFields[pl.v][0])
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(pl.pos),
+			Analyzer: "atomicmix",
+			Message: fmt.Sprintf("field %s is accessed with sync/atomic at %s:%d but plainly here; use one discipline (prefer the typed atomic wrappers)",
+				pl.v.Name(), filepath.Base(atomicAt.Filename), atomicAt.Line),
+		})
+	}
+	return out
+}

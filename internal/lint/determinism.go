@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DefaultDeterminismScope names the package path segments the determinism
+// analyzer guards by default: the packages whose output feeds the -canon
+// byte-stability gates (external _test packages of a scoped package are in
+// scope too).
+var DefaultDeterminismScope = []string{"harness", "bench", "registry"}
+
+// Determinism returns the canon-stability analyzer for packages whose path
+// contains one of the given segments.  Inside scope it flags the three ways
+// nondeterminism has historically crept into experiment rows:
+//
+//   - time.Now: wall-clock readings differ run to run (rows meant for
+//     -canon output must exclude or annotate them);
+//   - global math/rand functions: the process-seeded shared source makes
+//     every run draw a different sequence — use rand.New(rand.NewSource(s))
+//     with an explicit seed;
+//   - ranging over a map while touching harness.Row values: map iteration
+//     order is randomized per run, so Row output assembled under it is only
+//     byte-stable if every iteration's writes are order-independent.
+func Determinism(scope ...string) *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "time.Now, unseeded math/rand, and map-range iteration feeding Row output in canon-gated packages",
+		Run:  func(p *Package) []Finding { return runDeterminism(p, scope) },
+	}
+}
+
+// inDeterminismScope reports whether a package path is guarded: one of its
+// segments (the final segment with any "_test" suffix removed) equals a
+// scope entry.
+func inDeterminismScope(path string, scope []string) bool {
+	segs := strings.Split(path, "/")
+	if n := len(segs); n > 0 {
+		segs[n-1] = strings.TrimSuffix(segs[n-1], "_test")
+	}
+	for _, seg := range segs {
+		for _, s := range scope {
+			if seg == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runDeterminism(p *Package, scope []string) []Finding {
+	if !inDeterminismScope(p.Path, scope) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.CallExpr:
+				if fn := calledFunc(p, s); fn != nil {
+					out = append(out, checkDeterministicCall(p, s, fn)...)
+				}
+			case *ast.RangeStmt:
+				out = append(out, checkMapRange(p, s)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// calledFunc resolves the package-level function a call invokes, or nil.
+func calledFunc(p *Package, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+func checkDeterministicCall(p *Package, call *ast.CallExpr, fn *types.Func) []Finding {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	switch pkg.Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			return []Finding{{
+				Pos:      p.Fset.Position(call.Pos()),
+				Analyzer: "determinism",
+				Message:  "time.Now in a canon-gated package: wall-clock readings differ run to run; keep them out of -canon columns or annotate why this one cannot leak",
+			}}
+		}
+	case "math/rand", "math/rand/v2":
+		// The constructors (New, NewSource, NewPCG, ...) are how seeded,
+		// reproducible generators are made; everything else package-level
+		// draws from the shared process-seeded source.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			return []Finding{{
+				Pos:      p.Fset.Position(call.Pos()),
+				Analyzer: "determinism",
+				Message:  fmt.Sprintf("%s.%s draws from the global, process-seeded source; use rand.New(rand.NewSource(seed)) so runs are reproducible", pkg.Path(), fn.Name()),
+			}}
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags map-range loops whose bodies touch harness.Row data.
+func checkMapRange(p *Package, r *ast.RangeStmt) []Finding {
+	tv, ok := p.Info.Types[r.X]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return nil
+	}
+	touchesRow := false
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok || touchesRow {
+			return !touchesRow
+		}
+		if tv, ok := p.Info.Types[expr]; ok && involvesRow(tv.Type) {
+			touchesRow = true
+			return false
+		}
+		return true
+	})
+	if !touchesRow {
+		return nil
+	}
+	return []Finding{{
+		Pos:      p.Fset.Position(r.Pos()),
+		Analyzer: "determinism",
+		Message:  "map iteration order is randomized and this loop touches harness.Row data; iterate a sorted key slice, or annotate why the writes are order-independent",
+	}}
+}
+
+// involvesRow reports whether t is (or dereferences/contains as an element
+// type to) the harness Row type.
+func involvesRow(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Name() == "Row" && obj.Pkg() != nil &&
+			strings.HasSuffix("/"+obj.Pkg().Path(), "/harness") {
+			return true
+		}
+	case *types.Pointer:
+		return involvesRow(u.Elem())
+	case *types.Slice:
+		return involvesRow(u.Elem())
+	case *types.Array:
+		return involvesRow(u.Elem())
+	case *types.Map:
+		return involvesRow(u.Elem())
+	}
+	return false
+}

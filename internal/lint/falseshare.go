@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// cacheLine is the coherence granularity the layout check targets — the
+// same 64-byte line internal/rt pads its hot state to (the real-hardware
+// analogue of the paper's block size B).
+const cacheLine = 64
+
+// FalseShare returns the layout analyzer: it computes real field offsets
+// for every struct type in the package and reports any 64-byte line holding
+// two or more contended words.  A field is contended when its type is (or
+// transitively contains) a sync/atomic type, when the package passes its
+// address to a sync/atomic function, or when it is annotated
+// //lint:contended.  Line membership is computed from offsets relative to
+// the struct base, i.e. it assumes a line-aligned allocation — the
+// assumption padding idioms rely on; only internal/rt's slab rebasing gives
+// a hard guarantee.
+func FalseShare() *Analyzer {
+	return &Analyzer{
+		Name: "falseshare",
+		Doc:  "two or more contended words laid out in the same 64-byte cache line (§4.7)",
+		Run:  runFalseShare,
+	}
+}
+
+func runFalseShare(p *Package) []Finding {
+	atomicFields, _ := atomicFieldAccesses(p)
+	var out []Finding
+	for _, f := range p.Files {
+		_, contendedLines := directives(p.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[st]
+			if !ok {
+				return true
+			}
+			str, ok := tv.Type.(*types.Struct)
+			if !ok || str.NumFields() == 0 {
+				return true
+			}
+			out = append(out, checkStructLayout(p, st, str, atomicFields, contendedLines)...)
+			return true
+		})
+	}
+	return out
+}
+
+// fieldInfo pairs a struct field with its declared position and layout.
+type fieldInfo struct {
+	v    *types.Var
+	pos  token.Position
+	off  int64
+	size int64
+}
+
+// checkStructLayout flags every cache line of one struct that holds two or
+// more contended fields.
+func checkStructLayout(p *Package, st *ast.StructType, str *types.Struct, atomicFields map[*types.Var][]token.Pos, contendedLines map[int]bool) []Finding {
+	n := str.NumFields()
+	fields := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		fields[i] = str.Field(i)
+	}
+	offsets := p.Sizes.Offsetsof(fields)
+
+	var contended []fieldInfo
+	for i, v := range fields {
+		size := p.Sizes.Sizeof(v.Type())
+		if size == 0 {
+			continue
+		}
+		pos := p.Fset.Position(v.Pos())
+		hot := contendedType(v.Type(), nil) ||
+			len(atomicFields[v]) > 0 ||
+			contendedLines[pos.Line] || contendedLines[pos.Line-1]
+		if hot {
+			contended = append(contended, fieldInfo{v: v, pos: pos, off: offsets[i], size: size})
+		}
+	}
+	if len(contended) < 2 {
+		return nil
+	}
+
+	// Group contended fields by the cache-line windows their spans touch.
+	byLine := map[int64][]fieldInfo{}
+	for _, fi := range contended {
+		for w := fi.off / cacheLine; w <= (fi.off+fi.size-1)/cacheLine; w++ {
+			byLine[w] = append(byLine[w], fi)
+		}
+	}
+	structName := structDisplayName(p, st)
+	var out []Finding
+	reported := map[string]bool{} // dedupe identical groups across adjacent windows
+	for w := int64(0); w <= offsets[n-1]/cacheLine+1; w++ {
+		group := byLine[w]
+		if len(group) < 2 {
+			continue
+		}
+		names := make([]string, len(group))
+		for i, fi := range group {
+			names[i] = fmt.Sprintf("%s (offset %d)", fi.v.Name(), fi.off)
+		}
+		if key := strings.Join(names, "|"); reported[key] {
+			continue
+		} else {
+			reported[key] = true
+		}
+		out = append(out, Finding{
+			Pos:      group[0].pos,
+			Analyzer: "falseshare",
+			Message: fmt.Sprintf("contended fields %s of %s share the %d-byte cache line at offset %d; pad each onto a private line (§4.7) or annotate //lint:allow falseshare <reason>",
+				strings.Join(names, ", "), structName, cacheLine, w*cacheLine),
+		})
+	}
+	return out
+}
+
+// structDisplayName names the struct for messages: the enclosing type
+// declaration's name when there is one, "struct{...}" otherwise.
+func structDisplayName(p *Package, st *ast.StructType) string {
+	for _, f := range p.Files {
+		if f.Pos() <= st.Pos() && st.End() <= f.End() {
+			name := "struct{...}"
+			ast.Inspect(f, func(n ast.Node) bool {
+				if ts, ok := n.(*ast.TypeSpec); ok && ts.Type == st {
+					name = ts.Name.Name
+					return false
+				}
+				return true
+			})
+			return name
+		}
+	}
+	return "struct{...}"
+}
+
+// contendedType reports whether t is a sync/atomic type or transitively
+// contains one by value.  Types from package sync (Mutex, WaitGroup, ...)
+// do hold atomic words internally but are deliberately not treated as
+// contended: flagging every pair of adjacent mutexes would drown the signal
+// the analyzer exists for.
+func contendedType(t types.Type, seen []types.Type) bool {
+	for _, s := range seen {
+		if s == t {
+			return false
+		}
+	}
+	seen = append(seen, t)
+	switch u := t.(type) {
+	case *types.Named:
+		if pkg := u.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync/atomic":
+				return true
+			case "sync":
+				return false
+			}
+		}
+		return contendedType(u.Underlying(), seen)
+	case *types.Array:
+		return contendedType(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if contendedType(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

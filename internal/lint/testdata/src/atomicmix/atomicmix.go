@@ -1,0 +1,33 @@
+// Package atomicmix is golden-test input for the atomicmix analyzer: one
+// field accessed both atomically and plainly (fires, once, at the first
+// plain access), one accessed atomically only (silent).
+package atomicmix
+
+import "sync/atomic"
+
+type ctr struct {
+	mixed int64
+	clean int64
+}
+
+func load(c *ctr) int64 {
+	atomic.AddInt64(&c.mixed, 1)
+	atomic.AddInt64(&c.clean, 1)
+	return c.mixed // want "field mixed is accessed with sync/atomic"
+}
+
+// store is a second plain access of the same field; the analyzer reports a
+// field once, at its first plain access, so no want here.
+func store(c *ctr) {
+	c.mixed = 0
+}
+
+func loadClean(c *ctr) int64 {
+	return atomic.LoadInt64(&c.clean)
+}
+
+var (
+	_ = load
+	_ = store
+	_ = loadClean
+)

@@ -1,0 +1,62 @@
+// Package determinism is golden-test input for the determinism analyzer.
+// The golden test runs it with scope "determinism" so this directory is in
+// scope; a second test runs the default scope and expects silence, pinning
+// the scoping itself.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a canon-gated package"
+}
+
+func unseeded() int {
+	return rand.Intn(10) // want "math/rand.Intn draws from the global, process-seeded source"
+}
+
+// seeded builds an explicitly seeded generator: silent (New* constructors
+// are how reproducible sources are made).
+func seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+// fromMap assembles Row output under map iteration order.
+func fromMap(m map[string]int64) []harness.Row {
+	var rows []harness.Row
+	for k, v := range m { // want "map iteration order is randomized"
+		rows = append(rows, harness.Row{Algo: k, N: v})
+	}
+	return rows
+}
+
+// sumMap ranges over a map without touching Row data: silent.
+func sumMap(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// sumRows touches Row data without a map range: silent.
+func sumRows(rows []harness.Row) int64 {
+	var s int64
+	for _, r := range rows {
+		s += r.N
+	}
+	return s
+}
+
+var (
+	_ = wallClock
+	_ = unseeded
+	_ = seeded
+	_ = fromMap
+	_ = sumMap
+	_ = sumRows
+)

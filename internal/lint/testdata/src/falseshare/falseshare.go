@@ -1,0 +1,55 @@
+// Package falseshare is golden-test input for the falseshare analyzer:
+// structs that must fire are annotated with // want expectations, the rest
+// must stay silent.
+package falseshare
+
+import "sync/atomic"
+
+// hot is the canonical violation: two typed atomics on one cache line.
+type hot struct {
+	a atomic.Int64 // want "contended fields a (offset 0), b (offset 8) of hot share the 64-byte cache line at offset 0"
+	b atomic.Int64
+}
+
+// padded is the repo's fix idiom: each contended word on a private line.
+type padded struct {
+	a atomic.Int64
+	_ [56]byte
+	b atomic.Int64
+}
+
+// lone holds a single contended word next to plain data: no finding, the
+// analyzer only cares about two contended words colliding.
+type lone struct {
+	n   atomic.Int64
+	pos int64
+}
+
+// legacy uses the &field call style: both plain int64 fields become
+// contended because bump passes their addresses to sync/atomic.
+type legacy struct {
+	hits   int64 // want "share the 64-byte cache line"
+	misses int64
+}
+
+func bump(l *legacy) {
+	atomic.AddInt64(&l.hits, 1)
+	atomic.AddInt64(&l.misses, 1)
+}
+
+// annotated marks its fields contended by hand; the annotation alone must
+// make the shared line a finding.
+type annotated struct {
+	//lint:contended
+	head int64 // want "share the 64-byte cache line"
+	//lint:contended
+	tail int64
+}
+
+var (
+	_ = hot{}
+	_ = padded{}
+	_ = lone{}
+	_ = bump
+	_ = annotated{}
+)

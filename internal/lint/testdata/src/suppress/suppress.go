@@ -1,0 +1,24 @@
+// Package suppress is golden-test input for the //lint:allow convention:
+// one violation suppressed by a well-formed allow, and one under a
+// reason-less allow, which must be rejected (the allow itself reported and
+// the finding kept active).
+package suppress
+
+import "sync/atomic"
+
+type quiet struct {
+	//lint:allow falseshare deliberately compact: exercises the suppression path
+	a atomic.Int64
+	b atomic.Int64
+}
+
+type loud struct {
+	//lint:allow falseshare
+	c atomic.Int64
+	d atomic.Int64
+}
+
+var (
+	_ = quiet{}
+	_ = loud{}
+)

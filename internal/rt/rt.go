@@ -199,21 +199,32 @@ func (a *taskArena) alloc(fn func(*Ctx), depth int32) *task {
 }
 
 // Pool is a fixed-size work-stealing pool.
+//
+// The three pool-wide hot words lead the struct, each padded onto a private
+// cache line (the same §4.7 discipline the per-worker state block applies
+// via newState): stop is loaded in every scheduling loop, idlers on every
+// fork/completion fast path, and seq on every park.  Letting them share a
+// line would make each writer invalidate the others' readers — exactly the
+// false-sharing delay hbplint's falseshare analyzer now rejects statically.
 type Pool struct {
+	stop atomic.Bool
+	_    [cacheLine - 1]byte
+	// Eventcount for parking: idlers counts workers that announced
+	// idleness; seq is bumped (under mu) on every wake-worthy event.
+	idlers atomic.Int32
+	_      [cacheLine - 4]byte
+	seq    atomic.Uint64
+	_      [cacheLine - 8]byte
+
 	workers []*worker
 	policy  Policy
 	layout  Layout
-	stop    atomic.Bool
 	wg      sync.WaitGroup
 
 	state []atomic.Int64 // keeps the worker-state block alive
 
-	// Eventcount for parking: idlers counts workers that announced
-	// idleness; seq is bumped (under mu) on every wake-worthy event.
-	idlers atomic.Int32
-	seq    atomic.Uint64
-	mu     sync.Mutex
-	cond   *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
 }
 
 type worker struct {

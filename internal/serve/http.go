@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -26,6 +27,13 @@ import (
 // request whose client disconnected is simply dropped — its kernel never
 // ran (see the batcher's cancellation sweep) and there is nobody left to
 // answer.
+//
+// With Config.RatePerSec set, /invoke and /batch are rate limited per
+// client (X-Client-ID header, falling back to the remote host) ahead of
+// admission: a client over its token bucket gets 429 with a Retry-After
+// derived from when the bucket next accrues what the request needs.  A
+// /batch request is charged one token per JSONL line.  Per-client counts
+// appear on /metrics as "clients".
 
 // httpError is the JSON error body every non-2xx response carries.
 type httpError struct {
@@ -86,7 +94,31 @@ func (s *Service) writeSubmitError(w http.ResponseWriter, err error) bool {
 	return true
 }
 
+// admitClient charges n request tokens to the calling client.  On a denial
+// it writes the 429 itself and reports false.
+func (s *Service) admitClient(w http.ResponseWriter, r *http.Request, n int) bool {
+	if s.limiter == nil || n == 0 {
+		return true
+	}
+	ok, retry := s.limiter.allowN(clientID(r), n)
+	if ok {
+		return true
+	}
+	s.met.limited.Add(int64(n))
+	sec := int((retry + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(sec))
+	writeJSON(w, http.StatusTooManyRequests,
+		httpError{Error: fmt.Sprintf("serve: rate limited: client %q is over %g requests/second", clientID(r), s.cfg.RatePerSec)})
+	return false
+}
+
 func (s *Service) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if !s.admitClient(w, r, 1) {
+		return
+	}
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad JSON: " + err.Error()})
@@ -118,6 +150,9 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		reqs = append(reqs, q)
+	}
+	if !s.admitClient(w, r, len(reqs)) {
+		return
 	}
 	results := make([]result, len(reqs))
 	var wg sync.WaitGroup

@@ -1,0 +1,213 @@
+package serve
+
+// Rate-limiter tests: token-bucket behaviour under an injected clock
+// (refill, per-client isolation, eviction at the tracking cap) and the
+// HTTP wiring (429 + Retry-After on /invoke and per-line charging on
+// /batch, per-client counts on /metrics).  The HTTP tests use a refill
+// rate slow enough that wall-clock time cannot add a token mid-test.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for the limiter.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate float64, burst, maxClients int) (*multiLimiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := newMultiLimiter(rate, burst, maxClients)
+	l.now = clk.now
+	return l, clk
+}
+
+func TestLimiterTokenBucket(t *testing.T) {
+	l, clk := newTestLimiter(1, 2, 16)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allowN("alice", 1); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.allowN("alice", 1)
+	if ok {
+		t.Fatal("request over burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry = %v, want in (0, 1s] at 1 token/s", retry)
+	}
+	clk.advance(time.Second)
+	if ok, _ := l.allowN("alice", 1); !ok {
+		t.Fatal("request denied after a full token accrued")
+	}
+	if ok, _ := l.allowN("alice", 1); ok {
+		t.Fatal("bucket did not drain: second post-refill request allowed")
+	}
+	// Idling caps accrual at the burst, not beyond it.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allowN("alice", 1); !ok {
+			t.Fatalf("post-idle burst request %d denied", i)
+		}
+	}
+	if ok, _ := l.allowN("alice", 1); ok {
+		t.Fatal("idle accrual exceeded the burst cap")
+	}
+}
+
+func TestLimiterPerClientIsolation(t *testing.T) {
+	l, _ := newTestLimiter(1, 1, 16)
+	if ok, _ := l.allowN("alice", 1); !ok {
+		t.Fatal("alice's first request denied")
+	}
+	if ok, _ := l.allowN("alice", 1); ok {
+		t.Fatal("alice over her bucket allowed")
+	}
+	if ok, _ := l.allowN("bob", 1); !ok {
+		t.Fatal("bob denied because alice drained her own bucket")
+	}
+}
+
+func TestLimiterEviction(t *testing.T) {
+	l, clk := newTestLimiter(1, 1, 2)
+	l.allowN("alice", 1)
+	clk.advance(time.Millisecond)
+	l.allowN("bob", 1)
+	clk.advance(time.Millisecond)
+	l.allowN("carol", 1) // over the cap: alice, least recently seen, is evicted
+	snap := l.snapshot()
+	if len(snap) != 2 || snap[0].Client != "bob" || snap[1].Client != "carol" {
+		t.Fatalf("snapshot after eviction = %+v, want [bob carol]", snap)
+	}
+	// A returning evicted client simply starts a fresh bucket.
+	if ok, _ := l.allowN("alice", 1); !ok {
+		t.Fatal("evicted client denied on return")
+	}
+}
+
+func TestLimiterCounts(t *testing.T) {
+	l, _ := newTestLimiter(1, 2, 16)
+	l.allowN("alice", 1)
+	l.allowN("alice", 1)
+	l.allowN("alice", 1) // denied
+	snap := l.snapshot()
+	if len(snap) != 1 || snap[0].Allowed != 2 || snap[0].Limited != 1 {
+		t.Fatalf("counts = %+v, want alice allowed=2 limited=1", snap)
+	}
+}
+
+// invokeAs posts one tiny request under the given client ID and returns the
+// raw HTTP response.
+func invokeAs(t *testing.T, url, client string) *http.Response {
+	t.Helper()
+	body := strings.NewReader(`{"kernel": "sort", "n": 8, "seed": 1}`)
+	req, err := http.NewRequest("POST", url+"/invoke", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(clientIDHeader, client)
+	hr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	return hr
+}
+
+func TestHTTPRateLimit(t *testing.T) {
+	// Refill of one token per ~17 minutes: the test lives entirely off the
+	// burst, so elapsed wall-clock cannot add a token and flake it.
+	svc := New(Config{Pool: 2, RatePerSec: 0.001, RateBurst: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		if hr := invokeAs(t, ts.URL, "alice"); hr.StatusCode != http.StatusOK {
+			t.Fatalf("alice burst request %d: status %d", i, hr.StatusCode)
+		}
+	}
+	hr := invokeAs(t, ts.URL, "alice")
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice over burst: status %d, want 429", hr.StatusCode)
+	}
+	if ra := hr.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 carried no Retry-After header")
+	}
+	if hr := invokeAs(t, ts.URL, "bob"); hr.StatusCode != http.StatusOK {
+		t.Fatalf("bob limited by alice's bucket: status %d", hr.StatusCode)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(mr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.RateLimited != 1 {
+		t.Errorf("rate_limited = %d, want 1", snap.RateLimited)
+	}
+	if len(snap.Clients) != 2 ||
+		snap.Clients[0] != (ClientRate{Client: "alice", Allowed: 2, Limited: 1}) ||
+		snap.Clients[1] != (ClientRate{Client: "bob", Allowed: 1, Limited: 0}) {
+		t.Errorf("clients = %+v, want sorted [alice{2,1} bob{1,0}]", snap.Clients)
+	}
+}
+
+func TestHTTPBatchChargedPerLine(t *testing.T) {
+	svc := New(Config{Pool: 2, RatePerSec: 0.001, RateBurst: 3})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	post := func() *http.Response {
+		lines := `{"kernel": "sort", "n": 8, "seed": 1}` + "\n" + `{"kernel": "sort", "n": 8, "seed": 2}` + "\n"
+		req, err := http.NewRequest("POST", ts.URL+"/batch", strings.NewReader(lines))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(clientIDHeader, "alice")
+		hr, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		return hr
+	}
+	if hr := post(); hr.StatusCode != http.StatusOK {
+		t.Fatalf("first 2-line batch: status %d, want 200", hr.StatusCode)
+	}
+	// 1 token left < 2 lines: the whole batch is turned away.
+	if hr := post(); hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second 2-line batch: status %d, want 429", hr.StatusCode)
+	}
+}
+
+// TestRateLimitDisabledByDefault pins the zero-config behaviour: no limiter,
+// no per-client section on /metrics.
+func TestRateLimitDisabledByDefault(t *testing.T) {
+	svc := New(Config{Pool: 2})
+	defer svc.Close()
+	if svc.limiter != nil {
+		t.Fatal("limiter constructed without RatePerSec")
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	for i := 0; i < 20; i++ {
+		if hr := invokeAs(t, ts.URL, "alice"); hr.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d with limiting disabled", i, hr.StatusCode)
+		}
+	}
+	if snap := svc.Metrics().Snapshot(); snap.RateLimited != 0 || snap.Clients != nil {
+		t.Errorf("snapshot carries limiter data with limiting disabled: %+v", snap)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/algos/registry"
@@ -96,6 +97,17 @@ type Config struct {
 	// MaxWords caps a single request's payload (explicit or generated) in
 	// int64 words (default 1<<22, 32 MiB).
 	MaxWords int64
+	// RatePerSec enables per-client rate limiting on the HTTP surface: each
+	// client (X-Client-ID header, falling back to the remote host) accrues
+	// this many request tokens per second.  0 disables limiting (the
+	// default — in-process Submit callers are never limited either way).
+	RatePerSec float64
+	// RateBurst caps a client's accrued tokens, i.e. the burst it may send
+	// after idling (default max(1, ⌈RatePerSec⌉)).
+	RateBurst int
+	// RateClients caps how many client buckets the limiter tracks; the
+	// least-recently-seen bucket is evicted beyond it (default 1024).
+	RateClients int
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +126,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxWords <= 0 {
 		c.MaxWords = 1 << 22
 	}
+	if c.RatePerSec > 0 && c.RateBurst <= 0 {
+		c.RateBurst = int(math.Ceil(c.RatePerSec))
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
+	if c.RateClients <= 0 {
+		c.RateClients = 1024
+	}
 	return c
 }
 
@@ -121,10 +142,11 @@ func (c Config) withDefaults() Config {
 // Create with New, serve HTTP with Handler, call in-process with Submit,
 // shut down with Close.
 type Service struct {
-	cfg  Config
-	pool *rt.Pool
-	met  *Metrics
-	b    *batcher
+	cfg     Config
+	pool    *rt.Pool
+	met     *Metrics
+	b       *batcher
+	limiter *multiLimiter // nil when Config.RatePerSec is 0
 
 	// hookBatch, when set (tests only), observes every batch immediately
 	// before it runs on the pool.
@@ -141,6 +163,10 @@ func New(cfg Config) *Service {
 	}
 	s.b = newBatcher(cfg.BatchSize, cfg.FlushDelay, cfg.QueueBound, s.runBatch, s.dropCall)
 	s.met.queueDepth = s.b.depth
+	if cfg.RatePerSec > 0 {
+		s.limiter = newMultiLimiter(cfg.RatePerSec, cfg.RateBurst, cfg.RateClients)
+		s.met.rates = s.limiter.snapshot
+	}
 	return s
 }
 

@@ -58,6 +58,9 @@ if [ "$MODE" != grid ]; then
     # concurrently; race-check it without paying for the full suite under -race.
     go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12|EXP13|EXP14|EXP15|EXP16)' ./internal/bench/
 
+    echo "== gate: hbplint (falseshare/atomicmix/fjdiscipline/determinism) =="
+    go run ./cmd/hbplint -stats ./...
+
     echo "== gate: docs (package comments + markdown links) =="
     bash scripts/check_docs.sh
 fi
