@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/algos/matmul"
 	"repro/internal/algos/sortx"
+	"repro/internal/algos/spms"
 	"repro/internal/fj"
 	"repro/internal/rt"
 )
@@ -196,5 +197,20 @@ func BenchmarkRealSortFJ(b *testing.B) {
 		copy(data.Raw(), src)
 		pool := rt.NewPool(0, rt.Random)
 		fj.RunReal(pool, func(c *fj.Ctx) { sortx.FJSort(c, data) })
+	}
+}
+
+// BenchmarkRealSortSPMSFJ times the SPMS kernel's real lowering on the same
+// keys as the sortx pair above — the third leg of the sort trajectory that
+// scripts/bench_snapshot.sh records into BENCH_sort.json each PR.
+func BenchmarkRealSortSPMSFJ(b *testing.B) {
+	src := benchKeys(benchSortN, 3)
+	env := fj.NewRealEnv()
+	data := env.I64(benchSortN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(data.Raw(), src)
+		pool := rt.NewPool(0, rt.Random)
+		fj.RunReal(pool, func(c *fj.Ctx) { spms.FJSort(c, data) })
 	}
 }

@@ -146,11 +146,13 @@ var fjCatalog = []FJKernel{
 		},
 	},
 	{
-		Name: "spms", Desc: "SPMS sort: √n-way recursion with positional sample-partition merges",
-		// Both sizes sit above the simulated cache (M = 1024 words) so the
-		// EXP14 constant fit lands where capacity misses and steal excesses
-		// are already live, not in the in-cache transition region.
-		SimSizes:   []int64{2048, 8192},
+		Name: "spms", Desc: "SPMS sort: √n-way recursion with full k-way sample-partition merges",
+		// Both sizes sit well above the simulated cache (M = 1024 words) so
+		// the EXP14 constant fit lands where capacity misses and steal
+		// excesses are already live: the k-way merge's serial sample passes
+		// keep the parallel excess near zero until the bucket recursion is
+		// deep enough to matter, which needs n ≥ 4096.
+		SimSizes:   []int64{4096, 8192},
 		InputWords: func(n int64) int64 { return n },
 		Size:       func(quick bool) int { return pickSize(quick, 1<<16, 1<<19) },
 		Setup: func(env *fj.Env, n int64, seed uint64) FJWork {

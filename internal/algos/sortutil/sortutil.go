@@ -1,11 +1,14 @@
 // Package sortutil holds the serial building blocks the fj sort kernels
 // (internal/algos/sortx, internal/algos/spms) share: the output-rank dual
-// binary search their merge partitions cut with, the stable serial two-way
-// merge, and the leaf sort.  The two kernels must agree on one tie-breaking
-// convention (ties take from the first run) for their splits and serial
-// merges to compose; keeping a single copy here is what guarantees they
-// cannot drift — the duplicate-handling bug the positional split fixed was
-// exactly a divergence in this machinery.
+// binary search their merge partitions cut with, the value-rank bounds the
+// k-way sample partition cuts with, the stable serial two-way and k-way
+// merges, and the leaf sort.  The two kernels must agree on one
+// tie-breaking convention (ties take from the earliest run) for their
+// splits and serial merges to compose; keeping a single copy here is what
+// guarantees they cannot drift — the duplicate-handling bug the positional
+// split fixed was exactly a divergence in this machinery, and
+// TestTieBreakConventionsAgree pins the two-way and k-way paths to each
+// other.
 package sortutil
 
 import (
@@ -100,5 +103,107 @@ func MergeSerial(c *fj.Ctx, a, b, out fj.I64) {
 	for ; j < b.Len(); j++ {
 		out.Set(c, k, b.Get(c, j))
 		k++
+	}
+}
+
+// LowerBound returns the first index i in the sorted run v with v[i] ≥ x
+// (v.Len() if none).  The loop runs a fixed ⌈log₂ n⌉ iterations regardless
+// of branch outcomes, so charged work is value-independent.
+func LowerBound(c *fj.Ctx, v fj.I64, x int64) int64 {
+	lo, hi := int64(0), v.Len()
+	for lo < hi {
+		i := (lo + hi) / 2
+		if v.Get(c, i) < x {
+			lo = i + 1
+		} else {
+			hi = i
+		}
+	}
+	return lo
+}
+
+// UpperBound returns the first index i in the sorted run v with v[i] > x
+// (v.Len() if none).
+func UpperBound(c *fj.Ctx, v fj.I64, x int64) int64 {
+	lo, hi := int64(0), v.Len()
+	for lo < hi {
+		i := (lo + hi) / 2
+		if v.Get(c, i) <= x {
+			lo = i + 1
+		} else {
+			hi = i
+		}
+	}
+	return lo
+}
+
+// kEntry is one heap slot of MergeK: a run's head value and the run index.
+type kEntry struct {
+	v int64
+	r int
+}
+
+// kLess orders heap entries by value with ties to the lowest run index —
+// the k-way generalization of MergeSerial's "ties take from a first".
+func kLess(a, b kEntry) bool {
+	return a.v < b.v || (a.v == b.v && a.r < b.r)
+}
+
+// MergeK merges the sorted runs into out serially and stably: ties emit
+// from the earliest run first, and within a run in position order, matching
+// MergeSerial on two runs (TestTieBreakConventionsAgree pins the
+// agreement).  A binary heap of run heads keyed (value, run index) makes
+// the charge profile exactly one Get and one Set per element, the same as
+// MergeSerial; the heap bookkeeping itself is uncharged local state.
+// Empty runs are permitted, and out must have the runs' total length.
+func MergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
+	heap := make([]kEntry, 0, len(runs))
+	pos := make([]int64, len(runs))
+	push := func(e kEntry) {
+		heap = append(heap, e)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !kLess(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() kEntry {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(heap) && kLess(heap[l], heap[min]) {
+				min = l
+			}
+			if r < len(heap) && kLess(heap[r], heap[min]) {
+				min = r
+			}
+			if min == i {
+				break
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
+		}
+		return top
+	}
+	for r := range runs {
+		if runs[r].Len() > 0 {
+			push(kEntry{runs[r].Get(c, 0), r})
+			pos[r] = 1
+		}
+	}
+	for k := int64(0); len(heap) > 0; k++ {
+		e := pop()
+		out.Set(c, k, e.v)
+		if pos[e.r] < runs[e.r].Len() {
+			push(kEntry{runs[e.r].Get(c, pos[e.r]), e.r})
+			pos[e.r]++
+		}
 	}
 }

@@ -64,6 +64,101 @@ func TestSplitAgreesWithMergeSerial(t *testing.T) {
 	})
 }
 
+// TestTieBreakConventionsAgree pins the two-way and k-way serial merges to
+// one tie-breaking convention: on duplicate-heavy runs, MergeK over [a, b]
+// must emit the byte-identical sequence MergeSerial(a, b) does (ties from
+// the earliest run first, within a run in position order).  The sort
+// kernels compose both paths, so a drift here silently reorders equal keys
+// between lowerings.
+func TestTieBreakConventionsAgree(t *testing.T) {
+	cases := [][2][]int64{
+		{{1, 2, 2, 2, 5, 7}, {0, 2, 2, 4, 5, 5, 5, 7, 9}},
+		{{5, 5, 5, 5}, {5, 5, 5}},
+		{{}, {3, 3, 3}},
+		{{1, 1, 2}, {}},
+		{{0, 0, 1, 1, 2, 2}, {0, 1, 1, 2}},
+	}
+	env := fj.NewRealEnv()
+	pool := rt.NewPoolLayout(1, rt.Random, rt.LayoutPadded)
+	fj.RunReal(pool, func(c *fj.Ctx) {
+		for ci, tc := range cases {
+			a, b := env.I64(int64(len(tc[0]))), env.I64(int64(len(tc[1])))
+			for i, x := range tc[0] {
+				a.Store(int64(i), x)
+			}
+			for i, x := range tc[1] {
+				b.Store(int64(i), x)
+			}
+			total := a.Len() + b.Len()
+			two, kway := env.I64(total), env.I64(total)
+			MergeSerial(c, a, b, two)
+			MergeK(c, []fj.I64{a, b}, kway)
+			if !slices.Equal(two.Raw(), kway.Raw()) {
+				t.Errorf("case %d: MergeK %v != MergeSerial %v", ci, kway.Raw(), two.Raw())
+			}
+		}
+	})
+}
+
+// TestMergeKManyRunsStable drives MergeK across more than two runs with
+// empty runs interleaved: the output must be sorted, and equal keys must
+// surface run-by-run in run-index order (the k-way extension of the a-first
+// convention).
+func TestMergeKManyRunsStable(t *testing.T) {
+	env := fj.NewRealEnv()
+	// Tag each value's origin in the low bits: key = value·8 + run.  Runs
+	// stay individually sorted, and after merging, equal keys must carry
+	// ascending run tags.
+	raw := [][]int64{{0, 1, 1, 2}, {}, {0, 1, 2, 2}, {1}, {}, {0, 0, 1}}
+	runs := make([]fj.I64, len(raw))
+	var total int64
+	for r, vals := range raw {
+		runs[r] = env.I64(int64(len(vals)))
+		for i, x := range vals {
+			runs[r].Store(int64(i), x*8+int64(r))
+		}
+		total += int64(len(vals))
+	}
+	out := env.I64(total)
+	pool := rt.NewPoolLayout(1, rt.Random, rt.LayoutPadded)
+	fj.RunReal(pool, func(c *fj.Ctx) { MergeK(c, runs, out) })
+	got := out.Raw()
+	for i := 1; i < len(got); i++ {
+		key, prev := got[i]/8, got[i-1]/8
+		if key < prev {
+			t.Fatalf("output not sorted at %d: %v", i, got)
+		}
+		if key == prev && got[i]%8 < got[i-1]%8 {
+			t.Errorf("equal keys out of run order at %d: run %d before run %d", i, got[i-1]%8, got[i]%8)
+		}
+	}
+}
+
+// TestBoundsUnits pins LowerBound/UpperBound on a duplicate-heavy run: the
+// half-open equal range [LowerBound, UpperBound) must bracket exactly the
+// occurrences of the probe value.
+func TestBoundsUnits(t *testing.T) {
+	env := fj.NewRealEnv()
+	v := env.I64(8)
+	for i, x := range []int64{1, 3, 3, 3, 5, 5, 8, 9} {
+		v.Store(int64(i), x)
+	}
+	pool := rt.NewPoolLayout(1, rt.Random, rt.LayoutPadded)
+	fj.RunReal(pool, func(c *fj.Ctx) {
+		for _, tc := range []struct{ x, lo, hi int64 }{
+			{0, 0, 0}, {1, 0, 1}, {2, 1, 1}, {3, 1, 4}, {4, 4, 4},
+			{5, 4, 6}, {8, 6, 7}, {9, 7, 8}, {10, 8, 8},
+		} {
+			if got := LowerBound(c, v, tc.x); got != tc.lo {
+				t.Errorf("LowerBound(%d) = %d, want %d", tc.x, got, tc.lo)
+			}
+			if got := UpperBound(c, v, tc.x); got != tc.hi {
+				t.Errorf("UpperBound(%d) = %d, want %d", tc.x, got, tc.hi)
+			}
+		}
+	})
+}
+
 // TestSortLeafBothBackings pins the leaf sort on a native slice (real
 // backing) — the sim path is exercised end to end by the kernels' tests.
 func TestSortLeafBothBackings(t *testing.T) {

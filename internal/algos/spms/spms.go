@@ -7,27 +7,37 @@
 // The kernel follows SPMS's recursion shape.  A sort of n keys splits into
 // k ≈ √n runs that sort recursively in parallel (O(log log n) levels of
 // sort recursion, each shrinking the problem size to its square root), and
-// the sorted runs are then combined by a merge whose partitioning step is
-// interleaved with the merging itself: every merge of total size m cuts its
-// *output* into ~√m buckets of exactly equal size, locating each bucket
-// boundary with a dual binary search over the two input runs, and the
-// buckets — independent subproblems whose sizes again shrink to the square
-// root — merge recursively in parallel.  All boundary searches of a level
-// run as one parallel phase, so a merge of size m has critical path
-// O(log m) + D(√m) = O(log m), and the whole sort runs in O(log² n) depth
-// with small constants, versus the O(log³ n) of the Type-2 HBP merge-sort
-// stand-in in internal/algos/sortx (the remaining log n / log log n factor
-// over SPMS's O(log n · log log n) comes from combining runs pairwise
-// instead of with the full k-way sample merge; EXP15 measures both depths
-// against their forms).
+// the sorted runs are then combined by the full k-way sample-partition
+// merge: every run contributes one sample element at a rank staggered by
+// run index (run s samples its element of rank ≈ s·lmax/k, so the k
+// samples spread over k distinct ranks of the merged order), the sample is
+// sorted with one serial k-way heap pass over k one-element run slices
+// (exactly 2k charged accesses, no gather phase), every sorted sample
+// element but the last becomes a splitter, and one parallel phase of dual
+// binary searches (LowerBound and UpperBound per splitter × run) cuts
+// every run against every splitter at once.  The buckets between
+// consecutive splitters are independent subproblems of size ≈ m/k ≈ √m
+// for a merge of total size m, and they merge recursively in parallel
+// straight into their exact output slices — a bucket of √m elements drawn
+// from up to k runs is a many-tiny-runs shape that finishes in one
+// constant-bounded serial heap pass (at or below serialKMaxSim; larger
+// buckets keep recursing), so a merge of size m pays one O(log m)
+// partition phase plus a bounded tail and the whole sort meets the SPMS
+// worst-case depth form O(log n · log log n) — the form EXP15 fits, on
+// adversarial inputs as well as uniform ones, versus the O(log³ n) of the
+// Type-2 HBP merge-sort stand-in in internal/algos/sortx.
 //
-// Positional bucket boundaries make the partition oblivious to the key
-// distribution: an all-equal input still splits into exact √m-size buckets,
-// because the dual binary search divides an equal range between the two
-// sides by rank, never by value (the same discipline the sortx merge-path
-// fix applies at its midpoint).  Keys are exact int64 and a sorted multiset
-// has a unique word sequence, so the sim and real lowerings stay
-// byte-identical at any leaf cutoff.
+// Duplicate keys cannot unbalance the partition: a splitter's equal-key
+// range in every run is located with the dual bounds and then divided
+// *positionally* — each run hands the j-th of g equal splitters the
+// ⌊e·j/(g+1)⌋ prefix of its e equal keys — so an all-equal input still
+// splits into near-equal buckets, the same rank-not-value discipline the
+// two-way sortutil.Split applies at its output cuts.  Keys are exact int64
+// and a sorted multiset has a unique word sequence, so the sim and real
+// lowerings stay byte-identical at any leaf cutoff.  Degenerate shapes
+// (samples too thin to yield a splitter, or a pathological bucket that
+// fails to shrink) fall back to a pairwise merge tree, which is always
+// correct and only costs depth.
 package spms
 
 import (
@@ -59,9 +69,9 @@ func FJSort(c *fj.Ctx, data fj.I64) {
 
 // fjSortRec sorts src; the sorted output lands in buf when toBuf is set and
 // in src otherwise.  One SPMS level: split into k ≈ √n runs, sort them
-// recursively in parallel (each in place in src), then combine the runs
-// with a pairwise tree of bucket-partitioned merges ping-ponging between
-// src and buf.
+// recursively in parallel into the array the merge does NOT target, then
+// combine all runs at once with the k-way sample-partition merge — a single
+// pass that moves every element into its final slot for this level.
 func fjSortRec(c *fj.Ctx, src, buf fj.I64, toBuf bool) {
 	n := src.Len()
 	if n <= c.Grain(FJSortGrainSim, FJSortGrainReal) {
@@ -72,16 +82,35 @@ func fjSortRec(c *fj.Ctx, src, buf fj.I64, toBuf bool) {
 		return
 	}
 	k := runCount(n)
+	// The real backend halves the split arity until runs reach the leaf
+	// grain: √n-way splitting below the grain just manufactures thousands
+	// of tiny runs for the merge to pay for, while sim depth wants the full
+	// arity (the simulator's grain is far below any of these sizes).
+	if g := c.Grain(0, FJSortGrainReal); g > 0 {
+		for k > 2 && n < k*g {
+			k >>= 1
+		}
+	}
 	runLen := (n + k - 1) / k
 	c.For(0, k, 1, func(c *fj.Ctx, r int64) {
 		lo, hi := runBounds(n, runLen, r, r+1)
-		fjSortRec(c, src.Slice(lo, hi), buf.Slice(lo, hi), false)
+		fjSortRec(c, src.Slice(lo, hi), buf.Slice(lo, hi), !toBuf)
 	})
-	fjMergeRuns(c, src, buf, runLen, 0, k, toBuf)
+	from, into := buf, src
+	if toBuf {
+		from, into = src, buf
+	}
+	runs := make([]fj.I64, 0, k)
+	for r := int64(0); r < k; r++ {
+		if lo, hi := runBounds(n, runLen, r, r+1); lo < hi {
+			runs = append(runs, from.Slice(lo, hi))
+		}
+	}
+	FJMergeK(c, runs, into)
 }
 
 // runCount returns the SPMS split arity for n: the smallest power of two at
-// or above ⌊√n⌋ (a power of two keeps the pairwise combine tree balanced).
+// or above ⌊√n⌋ (a power of two keeps the run layout balanced).
 func runCount(n int64) int64 {
 	s := isqrt(n)
 	k := int64(2)
@@ -114,39 +143,315 @@ func isqrt(n int64) int64 {
 	return x
 }
 
-// fjMergeRuns combines sorted runs [r0, r1) of src into one sorted span,
-// landing in buf when toBuf is set and in src otherwise.  Children produce
-// their halves in the opposite array, which the final merge ping-pongs
-// back, so every address is written once per level (limited access).
-func fjMergeRuns(c *fj.Ctx, src, buf fj.I64, runLen, r0, r1 int64, toBuf bool) {
-	n := src.Len()
-	lo, hi := runBounds(n, runLen, r0, r1)
-	if r1-r0 == 1 {
-		// A single run is already sorted in place in src.
-		if toBuf {
-			fjCopy(c, src.Slice(lo, hi), buf.Slice(lo, hi))
+// cutGrainReal is the real-backend leaf size for the flat partition loops
+// (splitter gathering, cut searches, bucket slicing): enough serial binary
+// searches per task to amortize scheduling, while the simulator keeps grain
+// 1 so the partition phase stays a single O(log m)-depth parallel step.
+const cutGrainReal = 64
+
+// serialKMaxSim is the simulator size cap for merging many tiny runs with
+// one serial k-way heap pass instead of the pairwise tree.  The serial merge
+// charges exactly 2m accesses of depth; the tree pays a full partition phase
+// per level, which measures ~2-3× worse on this shape below ~128 elements.
+const serialKMaxSim = 192
+
+// FJMergeK merges the sorted runs into out (whose length must be the runs'
+// total) by the SPMS k-way sample-partition merge.  Empty runs are
+// permitted.  Exported so the fuzz battery can drive the merge directly
+// against the sortutil serial reference.
+func FJMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
+	live := runs[:0:0]
+	for _, r := range runs {
+		if r.Len() > 0 {
+			live = append(live, r)
+		}
+	}
+	runs = live
+	m := out.Len()
+	switch {
+	case len(runs) == 0:
+		return
+	case len(runs) == 1:
+		fjCopy(c, runs[0], out)
+		return
+	case m <= c.Grain(FJMergeGrainSim, FJMergeGrainReal):
+		serialMergeK(c, runs, out)
+		return
+	case len(runs) == 2:
+		fjMerge2(c, runs[0], runs[1], out)
+		return
+	}
+
+	k := int64(len(runs))
+	if 4*k > m {
+		// Runs average under four elements — a sample would be most of the
+		// input itself, so the sample machinery cannot pay off.  Small
+		// shapes take the serial heap pass (2m charged depth beats the
+		// tree's per-level partition phases there); bigger ones fall back
+		// to the pairwise merge tree, which is always exact.
+		if m <= c.Grain(serialKMaxSim, FJMergeGrainReal) {
+			serialMergeK(c, runs, out)
+			return
+		}
+		fjMergeTree(c, runs, out)
+		return
+	}
+
+	// Sample: one element per run, at a rank STAGGERED by run index (run s
+	// contributes its element of rank ≈ s·lmax/k) so the k samples land on
+	// k distinct ranks instead of all on the same one — identically ranked
+	// samples (say, every run's median) concentrate around one quantile of
+	// the merged distribution and degenerate the partition into two giant
+	// edge buckets.  Each sample is a one-element slice of its run handed
+	// straight to the serial k-way heap pass, so sorting the sample charges
+	// exactly 2k accesses and needs no separate gather phase.  Every sorted
+	// sample element but the last becomes a splitter, bounding the buckets
+	// near m/k ≈ √m.
+	lmax := int64(0)
+	for _, r := range runs {
+		if r.Len() > lmax {
+			lmax = r.Len()
+		}
+	}
+	// Sample density is grain-driven: the simulator samples every run
+	// (buckets ≈ √m, what the depth bound wants), while the real backend
+	// samples only enough runs to leave each bucket about one serial-merge
+	// grain — at real scale the cut matrix is nsp·k binary searches, and
+	// splitters beyond m/grain buckets buy no wall-clock, they only
+	// multiply partition work.
+	ns := k
+	if g := c.Grain(0, FJMergeGrainReal); g > 0 {
+		if want := max(2, m/g); want < ns {
+			ns = want
+		}
+	}
+	nsp := ns - 1 // every sorted sample element but the last is a splitter
+	sruns := make([]fj.I64, ns)
+	for s := int64(0); s < ns; s++ {
+		ri := s * k / ns
+		p := ri * lmax / k
+		if last := runs[ri].Len() - 1; p > last {
+			p = last
+		}
+		sruns[s] = runs[ri].Slice(p, p+1)
+	}
+	sorted := c.AllocI64(ns)
+	sortutil.MergeK(c, sruns, sorted)
+
+	// Splitters: every sorted sample element but the last, annotated with
+	// its positional rank within its equal-value group (G of g) so the cut
+	// phase can divide duplicate ranges by rank, never by value.
+	sval := c.AllocI64(nsp)
+	snum := c.AllocI64(nsp) // G: 1-based rank of the splitter in its group
+	sden := c.AllocI64(nsp) // g: number of splitters sharing the value
+	c.For(0, nsp, c.Grain(1, cutGrainReal), func(c *fj.Ctx, j int64) {
+		v := sorted.Get(c, j)
+		gl := sortutil.LowerBound(c, sorted, v) // first splitter of the group
+		jhi := sortutil.UpperBound(c, sorted, v) - 1
+		if jhi > nsp-1 {
+			jhi = nsp - 1 // the last sample element is not a splitter
+		}
+		sval.Set(c, j, v)
+		snum.Set(c, j, j-gl+1)
+		sden.Set(c, j, jhi-gl+1)
+	})
+
+	// Partition: one parallel phase of dual binary searches cuts every run
+	// against every splitter.  cut[j*k+s] = how many elements of run s land
+	// at or before splitter j: everything below the splitter value, plus a
+	// positional G/(g+1) share of the run's own equal-value range.
+	cutm := c.AllocI64(nsp * k)
+	c.For(0, nsp*k, c.Grain(1, cutGrainReal), func(c *fj.Ctx, t int64) {
+		j, s := t/k, t%k
+		v := sval.Get(c, j)
+		lb := sortutil.LowerBound(c, runs[s], v)
+		ub := sortutil.UpperBound(c, runs[s], v)
+		g := sden.Get(c, j)
+		cutm.Set(c, t, lb+(ub-lb)*snum.Get(c, j)/(g+1))
+	})
+
+	// Buckets: nsp+1 independent k-way merges straight into their exact
+	// output slices.  Each bucket derives its own output offsets by
+	// reducing the adjacent cut-matrix rows with the log-depth halving
+	// tree (recomputing the two sums per bucket is parallel work; a
+	// separate offsets phase would serialize the merge's critical path on
+	// one more fork-join barrier).  A bucket that failed to shrink
+	// (pathological value concentration the sample could not see) falls
+	// back to the pairwise tree, which needs no further sampling to make
+	// progress.
+	c.For(0, nsp+1, 1, func(c *fj.Ctx, j int64) {
+		bruns := make([]fj.I64, k)
+		c.For(0, k, c.Grain(1, cutGrainReal), func(c *fj.Ctx, s int64) {
+			lo := int64(0)
+			if j > 0 {
+				lo = cutm.Get(c, (j-1)*k+s)
+			}
+			hi := runs[s].Len()
+			if j < nsp {
+				hi = cutm.Get(c, j*k+s)
+			}
+			bruns[s] = runs[s].Slice(lo, hi)
+		})
+		olo := int64(0)
+		if j > 0 {
+			olo = fjSum(c, cutm, (j-1)*k, j*k)
+		}
+		ohi := m
+		if j < nsp {
+			ohi = fjSum(c, cutm, j*k, (j+1)*k)
+		}
+		if 2*(ohi-olo) > m {
+			fjMergeTree(c, bruns, out.Slice(olo, ohi))
+			return
+		}
+		FJMergeK(c, bruns, out.Slice(olo, ohi))
+	})
+}
+
+// serialFoldMaxK is the run count at or below which the serial merge keeps
+// the sortutil heap pass on the real backend; wider shapes fold pairwise.
+const serialFoldMaxK = 16
+
+// serialMergeK merges the runs into out serially.  The simulator always
+// takes the sortutil heap pass (its charge profile — one Get and one Set
+// per element — is the convention every depth measurement builds on).  The
+// real backend takes it only while the heap stays narrow: at large k the
+// heap costs log k branchy comparisons per element, and a pairwise fold
+// over the native slices — log k passes of tight streaming two-way merges —
+// is severalfold faster in wall-clock for the same comparison count.  Both
+// orders emit the identical word sequence (ties fold earliest-run-first,
+// matching the heap's convention), so the lowerings stay byte-identical.
+func serialMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
+	if os := out.Raw(); os != nil && len(runs) > serialFoldMaxK {
+		cur := make([][]int64, 0, len(runs))
+		for _, r := range runs {
+			if r.Len() > 0 {
+				cur = append(cur, r.Raw())
+			}
+		}
+		buf, other := make([]int64, len(os)), os
+		next := make([][]int64, 0, (len(cur)+1)/2)
+		for len(cur) > 1 {
+			next = next[:0]
+			pos := 0
+			for i := 0; i < len(cur); i += 2 {
+				if i+1 == len(cur) {
+					n := copy(buf[pos:], cur[i])
+					next = append(next, buf[pos:pos+n])
+					pos += n
+					continue
+				}
+				n := len(cur[i]) + len(cur[i+1])
+				rawMerge2(cur[i], cur[i+1], buf[pos:pos+n])
+				next = append(next, buf[pos:pos+n])
+				pos += n
+			}
+			cur, next = next, cur[:0]
+			buf, other = other, buf
+		}
+		if len(cur) == 1 && &cur[0][0] != &os[0] {
+			copy(os, cur[0])
 		}
 		return
 	}
-	mid := (r0 + r1) / 2
-	c.Parallel(
-		func(c *fj.Ctx) { fjMergeRuns(c, src, buf, runLen, r0, mid, !toBuf) },
-		func(c *fj.Ctx) { fjMergeRuns(c, src, buf, runLen, mid, r1, !toBuf) },
-	)
-	cut, _ := runBounds(n, runLen, mid, r1)
-	from, into := buf, src
-	if toBuf {
-		from, into = src, buf
-	}
-	fjMerge(c, from.Slice(lo, cut), from.Slice(cut, hi), into.Slice(lo, hi))
+	sortutil.MergeK(c, runs, out)
 }
 
-// fjMerge merges sorted runs a and b into out by the SPMS partition-merge:
+// rawMerge2 is the native two-way serial merge (ties take from a first).
+func rawMerge2(a, b, out []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// fjSum reduces v[lo:hi) with a halving tree: O(log) critical path, so row
+// sums over the k-wide cut matrix never serialize on the run count.
+func fjSum(c *fj.Ctx, v fj.I64, lo, hi int64) int64 {
+	if vs := v.Raw(); vs != nil {
+		// Native serial sum on the real backend: forking over a few hundred
+		// adds costs more than the adds.
+		var s int64
+		for _, x := range vs[lo:hi] {
+			s += x
+		}
+		return s
+	}
+	if hi-lo <= 8 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += v.Get(c, i)
+		}
+		return s
+	}
+	mid := lo + (hi-lo)/2
+	var a, b int64
+	c.Parallel(
+		func(c *fj.Ctx) { a = fjSum(c, v, lo, mid) },
+		func(c *fj.Ctx) { b = fjSum(c, v, mid, hi) },
+	)
+	return a + b
+}
+
+// fjMergeTree combines the runs into out with a balanced pairwise tree of
+// two-way partition merges ping-ponging through one scratch buffer — the
+// degenerate-shape fallback of FJMergeK (samples too thin, buckets that
+// refuse to shrink), always correct at O(log k · log m) depth.
+func fjMergeTree(c *fj.Ctx, runs []fj.I64, out fj.I64) {
+	switch len(runs) {
+	case 0:
+		return
+	case 1:
+		fjCopy(c, runs[0], out)
+		return
+	case 2:
+		fjMerge2(c, runs[0], runs[1], out)
+		return
+	}
+	tmp := c.AllocI64(out.Len())
+	fjMergeTreeRec(c, runs, out, tmp, false)
+}
+
+// fjMergeTreeRec merges runs into tmp when toTmp is set and into out
+// otherwise; children produce their halves in the opposite array, which
+// the final two-way merge ping-pongs back.
+func fjMergeTreeRec(c *fj.Ctx, runs []fj.I64, out, tmp fj.I64, toTmp bool) {
+	target, other := out, tmp
+	if toTmp {
+		target, other = tmp, out
+	}
+	if len(runs) == 1 {
+		fjCopy(c, runs[0], target)
+		return
+	}
+	mid := len(runs) / 2
+	var lt int64
+	for _, r := range runs[:mid] {
+		lt += r.Len()
+	}
+	m := target.Len()
+	c.Parallel(
+		func(c *fj.Ctx) { fjMergeTreeRec(c, runs[:mid], out.Slice(0, lt), tmp.Slice(0, lt), !toTmp) },
+		func(c *fj.Ctx) { fjMergeTreeRec(c, runs[mid:], out.Slice(lt, m), tmp.Slice(lt, m), !toTmp) },
+	)
+	fjMerge2(c, other.Slice(0, lt), other.Slice(lt, m), target)
+}
+
+// fjMerge2 merges two sorted runs into out by the two-way partition-merge:
 // the output is cut into ⌈m/⌈√m⌉⌉ buckets of exactly ⌈√m⌉ elements, each
 // boundary located with the shared output-rank dual binary search
 // (sortutil.Split; all boundaries in one parallel phase), and the buckets
 // merge recursively in parallel.
-func fjMerge(c *fj.Ctx, a, b, out fj.I64) {
+func fjMerge2(c *fj.Ctx, a, b, out fj.I64) {
 	m := a.Len() + b.Len()
 	if m <= c.Grain(FJMergeGrainSim, FJMergeGrainReal) {
 		sortutil.MergeSerial(c, a, b, out)
@@ -167,7 +472,7 @@ func fjMerge(c *fj.Ctx, a, b, out fj.I64) {
 	c.For(0, nb, 1, func(c *fj.Ctx, j int64) {
 		alo, ahi := ai.Get(c, j), ai.Get(c, j+1)
 		blo, bhi := bi.Get(c, j), bi.Get(c, j+1)
-		fjMerge(c, a.Slice(alo, ahi), b.Slice(blo, bhi), out.Slice(alo+blo, ahi+bhi))
+		fjMerge2(c, a.Slice(alo, ahi), b.Slice(blo, bhi), out.Slice(alo+blo, ahi+bhi))
 	})
 }
 

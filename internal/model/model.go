@@ -211,11 +211,17 @@ func models() []Model {
 			Envelope:    env(3, 12, 8),
 		},
 		{
-			// spms is the fj-unified SPMS sort (internal/algos/spms), a
-			// Type-2 HBP computation with the Table-1 sorting bounds: the
-			// cache complexity of the FFT/sort family, the Lemma 4.1(ii)
-			// steal excess, and the Lemma 4.9 sorting false-sharing term
-			// (the same O(pB·lg n·lglg B) shape Lemma 4.2 gives the FFT).
+			// spms is the fj-unified SPMS sort (internal/algos/spms) with
+			// the full k-way sample-partition merge: each level samples
+			// its √n runs, partitions every run against the sorted sample
+			// with dual binary searches, and merges the buckets in
+			// parallel, for the paper's O(lg n·lglg n) worst-case depth
+			// (EXP15 gates the measured form over adversarial inputs).  As
+			// a Type-2 HBP computation it keeps the Table-1 sorting
+			// bounds: the cache complexity of the FFT/sort family, the
+			// Lemma 4.1(ii) steal excess, and the Lemma 4.9 sorting
+			// false-sharing term (the same O(pB·lg n·lglg B) shape Lemma
+			// 4.2 gives the FFT).
 			Name: "spms",
 			seqQ: func(p Params) float64 {
 				return nf(p) / float64(p.B) * lg(nf(p)) / lg(float64(p.M))

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — seed/refresh the real-backend perf trajectory.
+#
+# Runs the root overhead-guard benchmarks (matmul and both sort kernels,
+# hand-written baselines included) a few times, takes the per-benchmark
+# MEDIAN ns/op, and writes BENCH_sort.json at the repo root.  The file is
+# committed, so `git log -p BENCH_sort.json` is the perf trajectory; the
+# per-PR diff protocol lives in EXPERIMENTS.md ("Perf trajectory").
+#
+# Usage: scripts/bench_snapshot.sh [count]   (default 3 runs per benchmark)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-3}"
+OUT="BENCH_sort.json"
+
+RAW=$(go test -run '^$' -bench 'BenchmarkRealMatmul|BenchmarkRealSort' \
+	-benchtime 10x -count "$COUNT" .)
+
+echo "$RAW" | awk -v count="$COUNT" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+	vals[name] = vals[name] " " $3
+	order[name] = ++seen[name] == 1 ? ++nn : order[name]
+	names[nn] = name
+}
+END {
+	printf "{\n"
+	printf "  \"benchtime\": \"10x\",\n"
+	printf "  \"count\": %d,\n", count
+	printf "  \"unit\": \"ns/op\",\n"
+	printf "  \"median\": {\n"
+	for (i = 1; i <= nn; i++) {
+		name = names[i]
+		n = split(vals[name], v, " ")
+		asort_n = n
+		# insertion sort (portable awk has no asort)
+		for (a = 2; a <= n; a++) {
+			x = v[a]
+			for (b = a - 1; b >= 1 && v[b] > x + 0; b--) v[b + 1] = v[b]
+			v[b + 1] = x
+		}
+		mid = int((n + 1) / 2)
+		med = (n % 2 == 1) ? v[mid] : (v[mid] + v[mid + 1]) / 2
+		printf "    \"%s\": %d%s\n", name, med, (i < nn ? "," : "")
+	}
+	printf "  }\n"
+	printf "}\n"
+}' > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

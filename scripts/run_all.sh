@@ -47,11 +47,12 @@ if [ "$MODE" != grid ]; then
     # compares its outputs against the sim lowering byte for byte.
     go test -race ./internal/fj/ ./internal/algos/registry/
 
-    echo "== gate: -race over the kernel service (batcher + HTTP battery) =="
+    echo "== gate: -race over the kernel service + fuzz seed corpora =="
     # The serve battery exercises concurrent clients, cancellation and
-    # backpressure; the fuzz seed corpus runs as ordinary test cases here,
-    # so every committed FuzzBatcher seed stays green.
-    go test -race -run 'Test|FuzzBatcher' ./internal/serve/
+    # backpressure; fuzz seed corpora run as ordinary test cases here, so
+    # every committed FuzzBatcher and FuzzKWayMerge seed stays green (the
+    # spms corpus drives the k-way merge on the real backend at p=4).
+    go test -race -run 'Test|FuzzBatcher|FuzzKWayMerge' ./internal/serve/ ./internal/algos/spms/
 
     echo "== gate: -race over concurrently executing grid cells =="
     # A golden subset at -parallel 8 is the only place experiment cells run
