@@ -34,11 +34,12 @@ func FJForward(c *fj.Ctx, data fj.C128) {
 	if n <= 1 {
 		return
 	}
-	src := c.AllocC128(n)
+	src := c.ScratchC128(n) // the copy loop writes all n slots first
 	c.For(0, n, c.Grain(16, 2048), func(c *fj.Ctx, i int64) {
 		src.Set(c, i, data.Get(c, i))
 	})
 	fjRec(c, data, 0, src, 0, 1, n)
+	c.FreeC128(src)
 }
 
 // fjRec writes into dst[dOff : dOff+n) the DFT of the n elements

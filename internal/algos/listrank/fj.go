@@ -26,9 +26,9 @@ func FJRank(c *fj.Ctx, succ, rank fj.I64) {
 		panic("listrank: FJRank length mismatch")
 	}
 	grain := c.Grain(FJRankGrainSim, FJRankGrainReal)
-	nxt := c.AllocI64(n)
-	rank2 := c.AllocI64(n)
-	nxt2 := c.AllocI64(n)
+	nxt := c.ScratchI64(n)   // the init map below writes every slot
+	rank2 := c.ScratchI64(n) // each round fully writes the next generation
+	nxt2 := c.ScratchI64(n)
 	c.For(0, n, grain, func(c *fj.Ctx, i int64) {
 		s := succ.Get(c, i)
 		nxt.Set(c, i, s)
@@ -60,4 +60,7 @@ func FJRank(c *fj.Ctx, succ, rank fj.I64) {
 			rank.Set(c, i, curR.Get(c, i))
 		})
 	}
+	c.FreeI64(nxt)
+	c.FreeI64(rank2)
+	c.FreeI64(nxt2)
 }

@@ -29,7 +29,7 @@ func FJPrefix(c *fj.Ctx, in, out fj.I64) {
 		fjPrefixSerial(c, in, out, 0)
 		return
 	}
-	sums := c.AllocI64(nb)
+	sums := c.ScratchI64(nb) // the up-sweep writes every block slot first
 	c.For(0, nb, 1, func(c *fj.Ctx, bi int64) {
 		lo, hi := bi*grain, min((bi+1)*grain, n)
 		var s int64
@@ -54,6 +54,7 @@ func FJPrefix(c *fj.Ctx, in, out fj.I64) {
 		lo, hi := bi*grain, min((bi+1)*grain, n)
 		fjPrefixSerial(c, in.Slice(lo, hi), out.Slice(lo, hi), sums.Get(c, bi))
 	})
+	c.FreeI64(sums)
 }
 
 func fjPrefixSerial(c *fj.Ctx, in, out fj.I64, offset int64) {

@@ -45,11 +45,25 @@ func Split(c *fj.Ctx, a, b fj.I64, k int64) int64 {
 	return lo
 }
 
-// SortLeaf sorts a run serially: slices.Sort on the native backing on the
-// real backend, insertion sort through charged accesses under the simulator
-// (leaves are small there, and the sorted values are identical either way).
+// radixMinLen is the run length at which the real leaf sort switches from
+// pdqsort to the LSD radix: below it the histogram passes cost more than
+// they save.
+const radixMinLen = 256
+
+// SortLeaf sorts a run serially: an LSD byte-radix sort (pdqsort below
+// radixMinLen) on the native backing on the real backend, insertion sort
+// through charged accesses under the simulator (leaves are small there).
+// The backends may sort by different algorithms because a sorted int64
+// multiset has exactly one byte representation — the cross-backend identity
+// gate is indifferent to how the order was produced.
 func SortLeaf(c *fj.Ctx, v fj.I64) {
 	if s := v.Raw(); s != nil {
+		if len(s) >= radixMinLen {
+			tmp := c.ScratchI64(int64(len(s)))
+			radixSortI64(s, tmp.Raw())
+			c.FreeI64(tmp)
+			return
+		}
 		slices.Sort(s)
 		return
 	}
@@ -62,6 +76,51 @@ func SortLeaf(c *fj.Ctx, v fj.I64) {
 			j--
 		}
 		v.Set(c, j+1, x)
+	}
+}
+
+// radixSortI64 sorts s ascending with a least-significant-digit byte radix,
+// using tmp (len(tmp) ≥ len(s)) as the ping-pong scratch.  Keys are mapped
+// to unsigned order by flipping the sign bit.  All eight histograms are
+// built in one pass, and a digit position where every key shares one byte
+// value is skipped (its stable scatter would be the identity), so
+// small-range keys pay only for the digits that discriminate.
+func radixSortI64(s, tmp []int64) {
+	var counts [8][256]int32
+	for _, x := range s {
+		u := uint64(x) ^ (1 << 63)
+		for b := 0; b < 8; b++ {
+			counts[b][(u>>(8*b))&0xFF]++
+		}
+	}
+	n := int32(len(s))
+	src, dst := s, tmp[:len(s)]
+	for b := 0; b < 8; b++ {
+		c := &counts[b]
+		skip := false
+		for _, v := range c {
+			if v == n {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		var sum int32
+		for i := range c {
+			c[i], sum = sum, sum+c[i]
+		}
+		sh := 8 * b
+		for _, x := range src {
+			d := (uint64(x) ^ (1 << 63)) >> sh & 0xFF
+			dst[c[d]] = x
+			c[d]++
+		}
+		src, dst = dst, src
+	}
+	if len(s) > 0 && &src[0] != &s[0] {
+		copy(s, src)
 	}
 }
 
@@ -149,60 +208,80 @@ func kLess(a, b kEntry) bool {
 	return a.v < b.v || (a.v == b.v && a.r < b.r)
 }
 
+// kPush sifts e up into the heap and returns the grown slice.  A plain
+// function (not a closure capturing the heap) so callers can keep the heap
+// in a stack array: the hot k-way merges run with zero heap allocations.
+func kPush(heap []kEntry, e kEntry) []kEntry {
+	heap = append(heap, e)
+	for i := len(heap) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !kLess(heap[i], heap[p]) {
+			break
+		}
+		heap[i], heap[p] = heap[p], heap[i]
+		i = p
+	}
+	return heap
+}
+
+// kPop removes and returns the minimum entry, returning the shrunk slice.
+func kPop(heap []kEntry) (kEntry, []kEntry) {
+	top := heap[0]
+	last := len(heap) - 1
+	heap[0] = heap[last]
+	heap = heap[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(heap) && kLess(heap[l], heap[min]) {
+			min = l
+		}
+		if r < len(heap) && kLess(heap[r], heap[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		heap[i], heap[min] = heap[min], heap[i]
+		i = min
+	}
+	return top, heap
+}
+
+// mergeKStackMax is the run count at or below which MergeK keeps its heap
+// and cursor state in stack arrays instead of allocating.
+const mergeKStackMax = 32
+
 // MergeK merges the sorted runs into out serially and stably: ties emit
 // from the earliest run first, and within a run in position order, matching
 // MergeSerial on two runs (TestTieBreakConventionsAgree pins the
 // agreement).  A binary heap of run heads keyed (value, run index) makes
 // the charge profile exactly one Get and one Set per element, the same as
-// MergeSerial; the heap bookkeeping itself is uncharged local state.
+// MergeSerial; the heap bookkeeping itself is uncharged local state, held
+// in stack arrays up to mergeKStackMax runs so the merge allocates nothing.
 // Empty runs are permitted, and out must have the runs' total length.
 func MergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
-	heap := make([]kEntry, 0, len(runs))
-	pos := make([]int64, len(runs))
-	push := func(e kEntry) {
-		heap = append(heap, e)
-		for i := len(heap) - 1; i > 0; {
-			p := (i - 1) / 2
-			if !kLess(heap[i], heap[p]) {
-				break
-			}
-			heap[i], heap[p] = heap[p], heap[i]
-			i = p
-		}
-	}
-	pop := func() kEntry {
-		top := heap[0]
-		last := len(heap) - 1
-		heap[0] = heap[last]
-		heap = heap[:last]
-		for i := 0; ; {
-			l, r := 2*i+1, 2*i+2
-			min := i
-			if l < len(heap) && kLess(heap[l], heap[min]) {
-				min = l
-			}
-			if r < len(heap) && kLess(heap[r], heap[min]) {
-				min = r
-			}
-			if min == i {
-				break
-			}
-			heap[i], heap[min] = heap[min], heap[i]
-			i = min
-		}
-		return top
+	var hbuf [mergeKStackMax]kEntry
+	var pbuf [mergeKStackMax]int64
+	var heap []kEntry
+	var pos []int64
+	if len(runs) <= mergeKStackMax {
+		heap, pos = hbuf[:0], pbuf[:len(runs)]
+	} else {
+		heap, pos = make([]kEntry, 0, len(runs)), make([]int64, len(runs))
 	}
 	for r := range runs {
 		if runs[r].Len() > 0 {
-			push(kEntry{runs[r].Get(c, 0), r})
+			heap = kPush(heap, kEntry{runs[r].Get(c, 0), r})
 			pos[r] = 1
 		}
 	}
 	for k := int64(0); len(heap) > 0; k++ {
-		e := pop()
+		var e kEntry
+		e, heap = kPop(heap)
 		out.Set(c, k, e.v)
 		if pos[e.r] < runs[e.r].Len() {
-			push(kEntry{runs[e.r].Get(c, pos[e.r]), e.r})
+			heap = kPush(heap, kEntry{runs[e.r].Get(c, pos[e.r]), e.r})
 			pos[e.r]++
 		}
 	}

@@ -161,6 +161,47 @@ func TestBoundsUnits(t *testing.T) {
 
 // TestSortLeafBothBackings pins the leaf sort on a native slice (real
 // backing) — the sim path is exercised end to end by the kernels' tests.
+// TestRadixSortI64 checks the real leaf radix against slices.Sort across
+// the shapes that stress its machinery: random signed keys (every digit
+// live), a narrow range (most digit passes skipped), all-equal keys (every
+// pass skipped, output untouched in place), extreme values (the sign-bit
+// flip), and lengths straddling the pdqsort/radix switch.
+func TestRadixSortI64(t *testing.T) {
+	gen := func(n int, f func(i uint64) int64) []int64 {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = f(uint64(i))
+		}
+		return s
+	}
+	lcg := func(seed uint64) func(uint64) int64 {
+		return func(i uint64) int64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return int64(seed)
+		}
+	}
+	cases := map[string][]int64{
+		"empty":     nil,
+		"single":    {42},
+		"random":    gen(4096, lcg(1)),
+		"narrow":    gen(4096, func(i uint64) int64 { return int64(i*2654435761) % 100 }),
+		"allequal":  gen(1024, func(uint64) int64 { return -7 }),
+		"extremes":  {0, -1, 1, -1 << 63, 1<<63 - 1, 0, -1 << 63, 1<<63 - 1},
+		"atSwitch":  gen(radixMinLen, lcg(2)),
+		"reversed":  gen(2048, func(i uint64) int64 { return 2048 - int64(i) }),
+		"negatives": gen(512, func(i uint64) int64 { return -int64(i * i) }),
+	}
+	for name, in := range cases {
+		got := slices.Clone(in)
+		want := slices.Clone(in)
+		radixSortI64(got, make([]int64, len(got)))
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Errorf("%s: radixSortI64 disagrees with slices.Sort", name)
+		}
+	}
+}
+
 func TestSortLeafBothBackings(t *testing.T) {
 	env := fj.NewRealEnv()
 	v := env.I64(9)

@@ -30,8 +30,11 @@ func FJSort(c *fj.Ctx, data fj.I64) {
 		sortutil.SortLeaf(c, data)
 		return
 	}
-	buf := c.AllocI64(n)
+	// Scratch, not Alloc: every region of buf is sorted or merged into before
+	// it is read, so the recycled slab needs no zeroing pass.
+	buf := c.ScratchI64(n)
 	fjSortRec(c, data, buf, false)
+	c.FreeI64(buf)
 }
 
 // fjSortRec sorts src; the sorted output lands in buf when toBuf is set and

@@ -63,8 +63,11 @@ func FJSort(c *fj.Ctx, data fj.I64) {
 		sortutil.SortLeaf(c, data)
 		return
 	}
-	buf := c.AllocI64(n)
+	// Scratch, not Alloc: every region of buf is sorted or merged into before
+	// it is read, so the recycled slab needs no zeroing pass.
+	buf := c.ScratchI64(n)
 	fjSortRec(c, data, buf, false)
+	c.FreeI64(buf)
 }
 
 // fjSortRec sorts src; the sorted output lands in buf when toBuf is set and
@@ -100,13 +103,15 @@ func fjSortRec(c *fj.Ctx, src, buf fj.I64, toBuf bool) {
 	if toBuf {
 		from, into = src, buf
 	}
-	runs := make([]fj.I64, 0, k)
+	rbuf := c.AllocRuns(k)
+	runs := rbuf[:0]
 	for r := int64(0); r < k; r++ {
 		if lo, hi := runBounds(n, runLen, r, r+1); lo < hi {
 			runs = append(runs, from.Slice(lo, hi))
 		}
 	}
 	FJMergeK(c, runs, into)
+	c.FreeRuns(rbuf)
 }
 
 // runCount returns the SPMS split arity for n: the smallest power of two at
@@ -160,7 +165,9 @@ const serialKMaxSim = 192
 // permitted.  Exported so the fuzz battery can drive the merge directly
 // against the sortutil serial reference.
 func FJMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
-	live := runs[:0:0]
+	lbuf := c.AllocRuns(int64(len(runs)))
+	defer c.FreeRuns(lbuf)
+	live := lbuf[:0]
 	for _, r := range runs {
 		if r.Len() > 0 {
 			live = append(live, r)
@@ -175,6 +182,17 @@ func FJMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
 		fjCopy(c, runs[0], out)
 		return
 	case m <= c.Grain(FJMergeGrainSim, FJMergeGrainReal):
+		serialMergeK(c, runs, out)
+		return
+	case len(runs) > 2 && m <= c.Grain(0, 2*FJMergeGrainReal):
+		// Real-only wide serial window.  A bucket the parent partition left
+		// just above the merge grain would re-enter the sample machinery with
+		// ns = 2 — a single splitter cannot cut below m/2, so one child
+		// always trips the degenerate-bucket fallback and pays a whole
+		// pairwise tree.  The streaming fold beats that partition level
+		// outright at these sizes; the sim keeps the full recursion (its
+		// depth measurements are the point there), and outputs are identical
+		// either way.  (Grain sim=0 can never trigger: m ≥ 1 here.)
 		serialMergeK(c, runs, out)
 		return
 	case len(runs) == 2:
@@ -226,7 +244,7 @@ func FJMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
 		}
 	}
 	nsp := ns - 1 // every sorted sample element but the last is a splitter
-	sruns := make([]fj.I64, ns)
+	sruns := c.AllocRuns(ns)
 	for s := int64(0); s < ns; s++ {
 		ri := s * k / ns
 		p := ri * lmax / k
@@ -235,15 +253,16 @@ func FJMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
 		}
 		sruns[s] = runs[ri].Slice(p, p+1)
 	}
-	sorted := c.AllocI64(ns)
+	sorted := c.ScratchI64(ns) // MergeK writes all ns elements before any read
 	sortutil.MergeK(c, sruns, sorted)
+	c.FreeRuns(sruns)
 
 	// Splitters: every sorted sample element but the last, annotated with
 	// its positional rank within its equal-value group (G of g) so the cut
 	// phase can divide duplicate ranges by rank, never by value.
-	sval := c.AllocI64(nsp)
-	snum := c.AllocI64(nsp) // G: 1-based rank of the splitter in its group
-	sden := c.AllocI64(nsp) // g: number of splitters sharing the value
+	sval := c.ScratchI64(nsp) // the cut loop below fills all nsp slots first
+	snum := c.ScratchI64(nsp) // G: 1-based rank of the splitter in its group
+	sden := c.ScratchI64(nsp) // g: number of splitters sharing the value
 	c.For(0, nsp, c.Grain(1, cutGrainReal), func(c *fj.Ctx, j int64) {
 		v := sorted.Get(c, j)
 		gl := sortutil.LowerBound(c, sorted, v) // first splitter of the group
@@ -255,12 +274,13 @@ func FJMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
 		snum.Set(c, j, j-gl+1)
 		sden.Set(c, j, jhi-gl+1)
 	})
+	c.FreeI64(sorted)
 
 	// Partition: one parallel phase of dual binary searches cuts every run
 	// against every splitter.  cut[j*k+s] = how many elements of run s land
 	// at or before splitter j: everything below the splitter value, plus a
 	// positional G/(g+1) share of the run's own equal-value range.
-	cutm := c.AllocI64(nsp * k)
+	cutm := c.ScratchI64(nsp * k) // every slot written by this loop
 	c.For(0, nsp*k, c.Grain(1, cutGrainReal), func(c *fj.Ctx, t int64) {
 		j, s := t/k, t%k
 		v := sval.Get(c, j)
@@ -269,6 +289,9 @@ func FJMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
 		g := sden.Get(c, j)
 		cutm.Set(c, t, lb+(ub-lb)*snum.Get(c, j)/(g+1))
 	})
+	c.FreeI64(sval)
+	c.FreeI64(snum)
+	c.FreeI64(sden)
 
 	// Buckets: nsp+1 independent k-way merges straight into their exact
 	// output slices.  Each bucket derives its own output offsets by
@@ -280,7 +303,7 @@ func FJMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
 	// back to the pairwise tree, which needs no further sampling to make
 	// progress.
 	c.For(0, nsp+1, 1, func(c *fj.Ctx, j int64) {
-		bruns := make([]fj.I64, k)
+		bruns := c.AllocRuns(k)
 		c.For(0, k, c.Grain(1, cutGrainReal), func(c *fj.Ctx, s int64) {
 			lo := int64(0)
 			if j > 0 {
@@ -302,10 +325,12 @@ func FJMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
 		}
 		if 2*(ohi-olo) > m {
 			fjMergeTree(c, bruns, out.Slice(olo, ohi))
-			return
+		} else {
+			FJMergeK(c, bruns, out.Slice(olo, ohi))
 		}
-		FJMergeK(c, bruns, out.Slice(olo, ohi))
+		c.FreeRuns(bruns)
 	})
+	c.FreeI64(cutm)
 }
 
 // serialFoldMaxK is the run count at or below which the serial merge keeps
@@ -323,38 +348,142 @@ const serialFoldMaxK = 16
 // matching the heap's convention), so the lowerings stay byte-identical.
 func serialMergeK(c *fj.Ctx, runs []fj.I64, out fj.I64) {
 	if os := out.Raw(); os != nil && len(runs) > serialFoldMaxK {
-		cur := make([][]int64, 0, len(runs))
+		kk := int64(len(runs))
+		cbuf := c.AllocRuns(kk)
+		nbuf := c.AllocRuns((kk + 3) / 4)
+		bufv := c.ScratchI64(int64(len(os))) // every level fully rewrites it
+		cur := cbuf[:0]
 		for _, r := range runs {
 			if r.Len() > 0 {
-				cur = append(cur, r.Raw())
+				cur = append(cur, r)
 			}
 		}
-		buf, other := make([]int64, len(os)), os
-		next := make([][]int64, 0, (len(cur)+1)/2)
+		// Ping-pong parity: aim the final 4-way pass at os so no closing
+		// copy is needed (out never overlaps the runs — every caller merges
+		// from one ping-pong array into the other).
+		passes := 0
+		for w := len(cur); w > 1; w = (w + 3) / 4 {
+			passes++
+		}
+		buf, other := bufv.Raw(), os
+		if passes%2 == 1 {
+			buf, other = os, bufv.Raw()
+		}
+		next := nbuf[:0]
 		for len(cur) > 1 {
 			next = next[:0]
 			pos := 0
-			for i := 0; i < len(cur); i += 2 {
-				if i+1 == len(cur) {
-					n := copy(buf[pos:], cur[i])
-					next = append(next, buf[pos:pos+n])
-					pos += n
-					continue
+			for i := 0; i < len(cur); i += 4 {
+				j := min(i+4, len(cur))
+				n := 0
+				for _, r := range cur[i:j] {
+					n += int(r.Len())
 				}
-				n := len(cur[i]) + len(cur[i+1])
-				rawMerge2(cur[i], cur[i+1], buf[pos:pos+n])
-				next = append(next, buf[pos:pos+n])
+				dst := buf[pos : pos+n]
+				switch j - i {
+				case 1:
+					copy(dst, cur[i].Raw())
+				case 2:
+					rawMerge2(cur[i].Raw(), cur[i+1].Raw(), dst)
+				case 3:
+					rawMerge3(cur[i].Raw(), cur[i+1].Raw(), cur[i+2].Raw(), dst)
+				default:
+					rawMerge4(cur[i].Raw(), cur[i+1].Raw(), cur[i+2].Raw(), cur[i+3].Raw(), dst)
+				}
+				next = append(next, fj.WrapI64(dst))
 				pos += n
 			}
 			cur, next = next, cur[:0]
 			buf, other = other, buf
 		}
-		if len(cur) == 1 && &cur[0][0] != &os[0] {
-			copy(os, cur[0])
+		if len(cur) == 1 && &cur[0].Raw()[0] != &os[0] {
+			copy(os, cur[0].Raw())
 		}
+		c.FreeRuns(cbuf)
+		c.FreeRuns(nbuf)
+		c.FreeI64(bufv)
 		return
 	}
 	sortutil.MergeK(c, runs, out)
+}
+
+// rawMerge4 is the native four-way serial merge; ties emit from the
+// earliest-numbered run first, the k-way generalization of rawMerge2's
+// "ties take from a".  The hot loop runs while all four runs are nonempty
+// (strict < comparisons give the earlier run its tie priority); when one
+// drains, the tail degrades to the three-way merge.  Versus folding
+// pairwise, each element crosses memory once per 4-way pass instead of
+// twice — on the 1-CPU box the merge fold is traffic-bound, not
+// comparison-bound, so halving the passes is the win.
+func rawMerge4(s0, s1, s2, s3, out []int64) {
+	k := 0
+	for len(s0) > 0 && len(s1) > 0 && len(s2) > 0 && len(s3) > 0 {
+		v, src := s0[0], 0
+		if s1[0] < v {
+			v, src = s1[0], 1
+		}
+		if s2[0] < v {
+			v, src = s2[0], 2
+		}
+		if s3[0] < v {
+			v, src = s3[0], 3
+		}
+		out[k] = v
+		k++
+		switch src {
+		case 0:
+			s0 = s0[1:]
+		case 1:
+			s1 = s1[1:]
+		case 2:
+			s2 = s2[1:]
+		case 3:
+			s3 = s3[1:]
+		}
+	}
+	switch {
+	case len(s0) == 0:
+		rawMerge3(s1, s2, s3, out[k:])
+	case len(s1) == 0:
+		rawMerge3(s0, s2, s3, out[k:])
+	case len(s2) == 0:
+		rawMerge3(s0, s1, s3, out[k:])
+	default:
+		rawMerge3(s0, s1, s2, out[k:])
+	}
+}
+
+// rawMerge3 is the native three-way serial merge (ties earliest-run-first);
+// the tail after one run drains is rawMerge2.
+func rawMerge3(s0, s1, s2, out []int64) {
+	k := 0
+	for len(s0) > 0 && len(s1) > 0 && len(s2) > 0 {
+		v, src := s0[0], 0
+		if s1[0] < v {
+			v, src = s1[0], 1
+		}
+		if s2[0] < v {
+			v, src = s2[0], 2
+		}
+		out[k] = v
+		k++
+		switch src {
+		case 0:
+			s0 = s0[1:]
+		case 1:
+			s1 = s1[1:]
+		case 2:
+			s2 = s2[1:]
+		}
+	}
+	switch {
+	case len(s0) == 0:
+		rawMerge2(s1, s2, out[k:])
+	case len(s1) == 0:
+		rawMerge2(s0, s2, out[k:])
+	default:
+		rawMerge2(s0, s1, out[k:])
+	}
 }
 
 // rawMerge2 is the native two-way serial merge (ties take from a first).
@@ -417,8 +546,9 @@ func fjMergeTree(c *fj.Ctx, runs []fj.I64, out fj.I64) {
 		fjMerge2(c, runs[0], runs[1], out)
 		return
 	}
-	tmp := c.AllocI64(out.Len())
+	tmp := c.ScratchI64(out.Len()) // children write every region they expose
 	fjMergeTreeRec(c, runs, out, tmp, false)
+	c.FreeI64(tmp)
 }
 
 // fjMergeTreeRec merges runs into tmp when toTmp is set and into out
@@ -457,9 +587,9 @@ func fjMerge2(c *fj.Ctx, a, b, out fj.I64) {
 		sortutil.MergeSerial(c, a, b, out)
 		return
 	}
-	t := isqrt(m)         // bucket size (≥ 2 since m ≥ 4)
-	nb := (m + t - 1) / t // bucket count ≈ √m
-	ai, bi := c.AllocI64(nb+1), c.AllocI64(nb+1)
+	t := isqrt(m)                                    // bucket size (≥ 2 since m ≥ 4)
+	nb := (m + t - 1) / t                            // bucket count ≈ √m
+	ai, bi := c.ScratchI64(nb+1), c.ScratchI64(nb+1) // all nb+1 slots set below
 	ai.Set(c, 0, 0)
 	bi.Set(c, 0, 0)
 	ai.Set(c, nb, a.Len())
@@ -474,6 +604,8 @@ func fjMerge2(c *fj.Ctx, a, b, out fj.I64) {
 		blo, bhi := bi.Get(c, j), bi.Get(c, j+1)
 		fjMerge2(c, a.Slice(alo, ahi), b.Slice(blo, bhi), out.Slice(alo+blo, ahi+bhi))
 	})
+	c.FreeI64(ai)
+	c.FreeI64(bi)
 }
 
 // fjCopy copies src into dst (equal lengths) as a parallel map.

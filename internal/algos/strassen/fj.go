@@ -30,6 +30,7 @@ func FJMul(c *fj.Ctx, a, b, out fj.I64, n int64) {
 	}
 	p := fjMulRec(c, a, b, n)
 	copyAll(c, p, out)
+	c.FreeI64(p)
 }
 
 func fjMulRec(c *fj.Ctx, a, b fj.I64, n int64) fj.I64 {
@@ -40,15 +41,23 @@ func fjMulRec(c *fj.Ctx, a, b fj.I64, n int64) fj.I64 {
 	a11, a12, a21, a22 := fjQuadrants(c, a, n)
 	b11, b12, b21, b22 := fjQuadrants(c, b, n)
 
-	// The seven Strassen operand pairs.
+	// The seven Strassen operand pairs; the T/U sum temporaries are named so
+	// every quadrant and temporary can be released once the products join.
+	t0a, t0b := fjAdd(c, a11, a22), fjAdd(c, b11, b22)
+	t1a := fjAdd(c, a21, a22)
+	t2b := fjSub(c, b12, b22)
+	t3b := fjSub(c, b21, b11)
+	t4a := fjAdd(c, a11, a12)
+	t5a, t5b := fjSub(c, a21, a11), fjAdd(c, b11, b12)
+	t6a, t6b := fjSub(c, a12, a22), fjAdd(c, b21, b22)
 	ops := [7][2]fj.I64{
-		{fjAdd(c, a11, a22), fjAdd(c, b11, b22)}, // p0 = (a11+a22)(b11+b22)
-		{fjAdd(c, a21, a22), b11},                // p1 = (a21+a22)·b11
-		{a11, fjSub(c, b12, b22)},                // p2 = a11·(b12−b22)
-		{a22, fjSub(c, b21, b11)},                // p3 = a22·(b21−b11)
-		{fjAdd(c, a11, a12), b22},                // p4 = (a11+a12)·b22
-		{fjSub(c, a21, a11), fjAdd(c, b11, b12)}, // p5 = (a21−a11)(b11+b12)
-		{fjSub(c, a12, a22), fjAdd(c, b21, b22)}, // p6 = (a12−a22)(b21+b22)
+		{t0a, t0b}, // p0 = (a11+a22)(b11+b22)
+		{t1a, b11}, // p1 = (a21+a22)·b11
+		{a11, t2b}, // p2 = a11·(b12−b22)
+		{a22, t3b}, // p3 = a22·(b21−b11)
+		{t4a, b22}, // p4 = (a11+a12)·b22
+		{t5a, t5b}, // p5 = (a21−a11)(b11+b12)
+		{t6a, t6b}, // p6 = (a12−a22)(b21+b22)
 	}
 	var p [7]fj.I64
 	var hs [6]fj.Handle
@@ -60,12 +69,27 @@ func fjMulRec(c *fj.Ctx, a, b fj.I64, n int64) fj.I64 {
 	for i := 5; i >= 0; i-- { // LIFO joins, as the fj discipline requires
 		c.Join(hs[i])
 	}
+	for _, v := range [...]fj.I64{a11, a12, a21, a22, b11, b12, b21, b22,
+		t0a, t0b, t1a, t2b, t3b, t4a, t5a, t5b, t6a, t6b} {
+		c.FreeI64(v)
+	}
 
-	out := c.AllocI64(n * n)
-	writeQuad(c, out, n, 0, 0, fjCombine4(c, p[0], p[3], p[4], p[6])) // c11 = p0+p3−p4+p6
-	writeQuad(c, out, n, 0, h, fjAdd(c, p[2], p[4]))                  // c12 = p2+p4
-	writeQuad(c, out, n, h, 0, fjAdd(c, p[1], p[3]))                  // c21 = p1+p3
-	writeQuad(c, out, n, h, h, fjCombine4(c, p[0], p[2], p[1], p[5])) // c22 = p0+p2−p1+p5
+	out := c.ScratchI64(n * n) // the four writeQuads cover every element
+	q := fjCombine4(c, p[0], p[3], p[4], p[6])
+	writeQuad(c, out, n, 0, 0, q) // c11 = p0+p3−p4+p6
+	c.FreeI64(q)
+	q = fjAdd(c, p[2], p[4])
+	writeQuad(c, out, n, 0, h, q) // c12 = p2+p4
+	c.FreeI64(q)
+	q = fjAdd(c, p[1], p[3])
+	writeQuad(c, out, n, h, 0, q) // c21 = p1+p3
+	c.FreeI64(q)
+	q = fjCombine4(c, p[0], p[2], p[1], p[5])
+	writeQuad(c, out, n, h, h, q) // c22 = p0+p2−p1+p5
+	c.FreeI64(q)
+	for _, v := range p {
+		c.FreeI64(v)
+	}
 	return out
 }
 
@@ -73,8 +97,8 @@ func fjMulRec(c *fj.Ctx, a, b fj.I64, n int64) fj.I64 {
 // fresh contiguous matrices.
 func fjQuadrants(c *fj.Ctx, m fj.I64, n int64) (q11, q12, q21, q22 fj.I64) {
 	h := n / 2
-	q11, q12 = c.AllocI64(h*h), c.AllocI64(h*h)
-	q21, q22 = c.AllocI64(h*h), c.AllocI64(h*h)
+	q11, q12 = c.ScratchI64(h*h), c.ScratchI64(h*h) // fully written below
+	q21, q22 = c.ScratchI64(h*h), c.ScratchI64(h*h)
 	for i := int64(0); i < h; i++ {
 		for j := int64(0); j < h; j++ {
 			q11.Set(c, i*h+j, m.Get(c, i*n+j))
@@ -96,7 +120,7 @@ func writeQuad(c *fj.Ctx, out fj.I64, n, ri, ci int64, q fj.I64) {
 }
 
 func fjAdd(c *fj.Ctx, a, b fj.I64) fj.I64 {
-	out := c.AllocI64(a.Len())
+	out := c.ScratchI64(a.Len())
 	for i := int64(0); i < a.Len(); i++ {
 		out.Set(c, i, a.Get(c, i)+b.Get(c, i))
 	}
@@ -104,7 +128,7 @@ func fjAdd(c *fj.Ctx, a, b fj.I64) fj.I64 {
 }
 
 func fjSub(c *fj.Ctx, a, b fj.I64) fj.I64 {
-	out := c.AllocI64(a.Len())
+	out := c.ScratchI64(a.Len())
 	for i := int64(0); i < a.Len(); i++ {
 		out.Set(c, i, a.Get(c, i)-b.Get(c, i))
 	}
@@ -113,7 +137,7 @@ func fjSub(c *fj.Ctx, a, b fj.I64) fj.I64 {
 
 // fjCombine4 returns w+x−y+z elementwise.
 func fjCombine4(c *fj.Ctx, w, x, y, z fj.I64) fj.I64 {
-	out := c.AllocI64(w.Len())
+	out := c.ScratchI64(w.Len())
 	for i := int64(0); i < w.Len(); i++ {
 		out.Set(c, i, w.Get(c, i)+x.Get(c, i)-y.Get(c, i)+z.Get(c, i))
 	}
@@ -130,7 +154,7 @@ func copyAll(c *fj.Ctx, src, dst fj.I64) {
 // on the real backend, the identical loop through charged accesses under
 // the simulator.
 func fjMulClassical(c *fj.Ctx, a, b fj.I64, n int64) fj.I64 {
-	out := c.AllocI64(n * n)
+	out := c.AllocI64(n * n) // Alloc, not Scratch: the triple loop += into it
 	if as := a.Raw(); as != nil {
 		bs, os := b.Raw(), out.Raw()
 		for i := int64(0); i < n; i++ {

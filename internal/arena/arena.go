@@ -1,0 +1,198 @@
+// Package arena gives the real backend the scratch-space discipline the
+// simulator already has through mem.Space: size-class free lists of typed
+// slabs, owned one shard per rt worker, so a kernel's whole recursion reuses
+// one footprint instead of paying the Go allocator and GC on every recursive
+// Alloc call.
+//
+// A Pool[T] keeps power-of-two size classes of recycled slabs.  Get rounds
+// the request up to its class, pops the most recently released slab (LIFO —
+// the slab still hot in cache from the scope that just released it), and
+// returns it trimmed to the requested length; Put validates that the slab's
+// capacity is exactly a class size (anything else — a sub-slice, foreign
+// caller memory — is dropped, never recycled) and pushes it back.  Slabs of
+// word-sized elements are carved cache-line-aligned by over-allocating one
+// line and re-slicing, the same §4.7 block discipline the paper applies to
+// scheduler state: two scratch regions handed to two workers never meet in
+// one coherence line.  The GC stays safe because the alignment trim is an
+// ordinary three-index slice expression, not a rebased pointer.
+//
+// A Shard bundles the three element-typed pools a fork-join kernel draws
+// from (int64, float64, complex128) plus an Aux extension slot for
+// client-owned pools (internal/fj parks its view-span pool there).  Shards
+// are strictly owner-only: every field is plain (no atomics to contend on,
+// which is what makes the layout falseshare-clean by construction), and the
+// runtime hands each worker its own separately allocated shard, so no two
+// workers' free lists ever share a cache line.
+//
+// Release is explicit, not scoped: rt workers help-run unrelated stolen
+// tasks inside Join, so a region-style bulk rewind at fork-join scope exit
+// could reclaim an allocation a helped task is still using.  Callers return
+// exactly the slabs they got (internal/fj tags its views so only original
+// arena allocations are ever returned).  Under the race detector every
+// released slab is poison-filled (see Poisoning), so a use-after-free
+// through a stale view reads garbage loudly instead of aliasing silently.
+package arena
+
+import "unsafe"
+
+// cacheLine is the coherence granularity alignment targets — the real
+// hardware analogue of the paper's block size B.
+const cacheLine = 64
+
+// minClass is the smallest slab capacity, in elements.
+const minClass = 8
+
+// numClasses bounds the largest pooled slab at minClass<<(numClasses-1)
+// elements (8·2²³ = 64M elements; larger requests fall through to plain
+// makes and are never recycled).
+const numClasses = 24
+
+// classFor returns the smallest class whose capacity holds n elements, or
+// numClasses when n exceeds every class.
+func classFor(n int64) int {
+	c := 0
+	for c < numClasses && classCap(c) < n {
+		c++
+	}
+	return c
+}
+
+// classCap returns the element capacity of class c.
+func classCap(c int) int64 { return minClass << c }
+
+// classOf returns the class whose capacity is exactly n, if any.
+func classOf(n int64) (int, bool) {
+	if n < minClass || n&(n-1) != 0 {
+		return 0, false
+	}
+	c := classFor(n)
+	if c >= numClasses || classCap(c) != n {
+		return 0, false
+	}
+	return c, true
+}
+
+// Pool is a size-class free list of []T slabs.  The zero value is ready to
+// use.  Pools are not safe for concurrent use; a shard's owner is the only
+// goroutine that may touch it.
+type Pool[T any] struct {
+	free [numClasses][][]T
+
+	// Poison is the value released slabs are filled with when Poisoning is
+	// on (zero by default; shards install a loud per-type pattern).
+	Poison T
+
+	// Owner-only counters, exported for tests and the arena on/off
+	// comparison protocol: Gets counts reuse hits, Misses fresh slab
+	// makes, Puts accepted releases, Drops rejected ones.
+	Gets, Misses, Puts, Drops int64
+}
+
+// Get returns a slab of exactly n elements with unspecified contents:
+// recycled when the class has a free slab, freshly allocated otherwise.
+// The result's capacity is the full class, so it survives a round trip
+// through Put.
+func (p *Pool[T]) Get(n int64) []T {
+	if n <= 0 {
+		return make([]T, 0)
+	}
+	c := classFor(n)
+	if c >= numClasses {
+		p.Misses++
+		return make([]T, n)
+	}
+	if list := p.free[c]; len(list) > 0 {
+		s := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.free[c] = list[:len(list)-1]
+		p.Gets++
+		return s[:n]
+	}
+	p.Misses++
+	return newSlab[T](c)[:n]
+}
+
+// Put releases a slab obtained from Get back to its class.  Slices whose
+// capacity is not exactly a class size (sub-slices, foreign memory,
+// over-class makes) are dropped: recycling them would hand one backing
+// array to two owners.
+func (p *Pool[T]) Put(s []T) {
+	c, ok := classOf(int64(cap(s)))
+	if !ok {
+		p.Drops++
+		return
+	}
+	full := s[:cap(s)]
+	if Poisoning {
+		for i := range full {
+			full[i] = p.Poison
+		}
+	}
+	p.free[c] = append(p.free[c], full)
+	p.Puts++
+}
+
+// newSlab allocates one class-c slab.  When the element size divides the
+// cache line the base is aligned to a line boundary by over-allocating one
+// line and trimming with a three-index slice (GC-safe: no pointer rebasing),
+// so distinct slabs never share a coherence line.
+func newSlab[T any](c int) []T {
+	n := classCap(c)
+	var zero T
+	esz := int64(unsafe.Sizeof(zero))
+	if esz == 0 || cacheLine%esz != 0 {
+		return make([]T, n)
+	}
+	pad := cacheLine / esz
+	raw := make([]T, n+pad)
+	off := int64(0)
+	if rem := int64(uintptr(unsafe.Pointer(&raw[0])) % cacheLine); rem != 0 {
+		// The base of a []T is aligned to the element size, so the gap to
+		// the next line boundary is a whole number of elements.
+		off = (cacheLine - rem) / esz
+	}
+	return raw[off : off+n : off+n]
+}
+
+// Shard is one worker's scratch arena: the three element-typed pools the
+// fork-join kernels allocate from, plus an extension slot.  All fields are
+// plain and owner-only — the falseshare discipline by construction, not by
+// annotation — and each shard is its own heap allocation, so two workers'
+// hot free-list heads never share a cache line.
+type Shard struct {
+	I64  Pool[int64]
+	F64  Pool[float64]
+	C128 Pool[complex128]
+
+	// Aux lets a client layer (internal/fj) hang its own per-worker pools
+	// off the shard without this package knowing their types.  Owner-only,
+	// like everything else here.
+	Aux any
+
+	// Tail pad: whatever the allocator places after this shard cannot
+	// share the shard's last line.
+	_ [cacheLine]byte
+}
+
+// Poison patterns for released slabs under the race detector: loud,
+// recognizable values no kernel computes (PoisonI64 spells out as repeated
+// 0x5CA7 — "scat" — and the float poisons are NaN, which propagates).
+const PoisonI64 = int64(0x5CA75CA75CA75CA7)
+
+// NewShard returns a ready shard with the per-type poison patterns
+// installed.
+func NewShard() *Shard {
+	s := &Shard{}
+	s.I64.Poison = PoisonI64
+	nan := poisonNaN()
+	s.F64.Poison = nan
+	s.C128.Poison = complex(nan, nan)
+	return s
+}
+
+// poisonNaN builds a quiet NaN without math.NaN (keeping the package
+// dependency-free of even math).
+func poisonNaN() float64 {
+	bits := uint64(0x7FF8_5CA7_5CA7_5CA7)
+	return *(*float64)(unsafe.Pointer(&bits))
+}

@@ -1,0 +1,146 @@
+package arena
+
+import (
+	"math"
+	"testing"
+	"unsafe"
+)
+
+func TestClassRounding(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int64 // capacity Get must return
+	}{
+		{1, minClass}, {minClass, minClass}, {minClass + 1, 2 * minClass},
+		{100, 128}, {128, 128}, {129, 256}, {1 << 17, 1 << 17}, {(1 << 17) + 1, 1 << 18},
+	}
+	var p Pool[int64]
+	for _, c := range cases {
+		s := p.Get(c.n)
+		if int64(len(s)) != c.n || int64(cap(s)) != c.want {
+			t.Errorf("Get(%d): len=%d cap=%d, want len=%d cap=%d", c.n, len(s), cap(s), c.n, c.want)
+		}
+	}
+}
+
+func TestLIFOReuse(t *testing.T) {
+	var p Pool[int64]
+	a := p.Get(100)
+	b := p.Get(100)
+	if &a[0] == &b[0] {
+		t.Fatal("two live slabs share a backing array")
+	}
+	p.Put(a)
+	p.Put(b)
+	// LIFO: the most recently released slab (b) comes back first, then a.
+	c := p.Get(100)
+	d := p.Get(128) // same class as 100
+	if &c[0] != &b[0] {
+		t.Errorf("first reuse returned %p, want the last-released slab %p", &c[0], &b[0])
+	}
+	if &d[0] != &a[0] {
+		t.Errorf("second reuse returned %p, want the first-released slab %p", &d[0], &a[0])
+	}
+	if p.Gets != 2 || p.Misses != 2 || p.Puts != 2 {
+		t.Errorf("counters gets=%d misses=%d puts=%d, want 2/2/2", p.Gets, p.Misses, p.Puts)
+	}
+}
+
+func TestPutRejectsForeignCaps(t *testing.T) {
+	var p Pool[int64]
+	s := p.Get(64)
+	p.Put(s[:10:10]) // sub-slice with a non-class cap
+	p.Put(make([]int64, 100))
+	p.Put(make([]int64, 3))
+	p.Put(nil)
+	if p.Puts != 0 || p.Drops != 4 {
+		t.Fatalf("puts=%d drops=%d, want 0 accepted, 4 dropped", p.Puts, p.Drops)
+	}
+	r := p.Get(64)
+	if &r[0] == &s[0] {
+		t.Fatal("a rejected Put still entered the free list")
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	var pi Pool[int64]
+	var pc Pool[complex128]
+	for _, n := range []int64{1, 8, 64, 1000, 1 << 15} {
+		if s := pi.Get(n); uintptr(unsafe.Pointer(&s[0]))%cacheLine != 0 {
+			t.Errorf("int64 slab of %d not cache-line aligned: %p", n, &s[0])
+		}
+		if s := pc.Get(n); uintptr(unsafe.Pointer(&s[0]))%cacheLine != 0 {
+			t.Errorf("complex128 slab of %d not cache-line aligned: %p", n, &s[0])
+		}
+	}
+}
+
+func TestOversizeRequestsBypassPool(t *testing.T) {
+	var p Pool[int64]
+	huge := classCap(numClasses-1) + 1
+	s := p.Get(huge)
+	if int64(len(s)) != huge {
+		t.Fatalf("oversize Get len = %d, want %d", len(s), huge)
+	}
+	p.Put(s)
+	if p.Puts != 0 || p.Drops != 1 {
+		t.Errorf("oversize slab entered the free list (puts=%d drops=%d)", p.Puts, p.Drops)
+	}
+}
+
+func TestZeroLengthGet(t *testing.T) {
+	var p Pool[int64]
+	if s := p.Get(0); s == nil || len(s) != 0 {
+		t.Fatalf("Get(0) = %v (nil=%v), want a non-nil empty slice", s, s == nil)
+	}
+}
+
+// TestPoisonFill pins the release semantics in both build modes: under the
+// race detector a released slab is filled with the shard's poison pattern,
+// and outside it the contents are left as-is (the fill must not tax the
+// steady state the arena exists to remove).
+func TestPoisonFill(t *testing.T) {
+	sh := NewShard()
+	s := sh.I64.Get(64)
+	for i := range s {
+		s[i] = int64(i)
+	}
+	sh.I64.Put(s)
+	full := s[:cap(s)]
+	if Poisoning {
+		for i, v := range full {
+			if v != PoisonI64 {
+				t.Fatalf("released slab [%d] = %#x, want poison %#x", i, v, uint64(PoisonI64))
+			}
+		}
+	} else {
+		for i := 0; i < 64; i++ {
+			if full[i] != int64(i) {
+				t.Fatalf("released slab [%d] = %d changed without poisoning enabled", i, full[i])
+			}
+		}
+	}
+
+	f := sh.F64.Get(8)
+	for i := range f {
+		f[i] = float64(i)
+	}
+	sh.F64.Put(f)
+	if Poisoning && !math.IsNaN(f[:cap(f)][0]) {
+		t.Fatal("released float64 slab not NaN-poisoned")
+	}
+}
+
+func TestShardPoolsIndependent(t *testing.T) {
+	sh := NewShard()
+	a := sh.I64.Get(32)
+	b := sh.F64.Get(32)
+	c := sh.C128.Get(32)
+	if len(a) != 32 || len(b) != 32 || len(c) != 32 {
+		t.Fatal("shard pools returned wrong lengths")
+	}
+	sh.I64.Put(a)
+	if sh.F64.Puts != 0 || sh.C128.Puts != 0 {
+		t.Fatal("a Put to one typed pool leaked into another")
+	}
+}

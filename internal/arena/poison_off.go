@@ -1,0 +1,6 @@
+//go:build !race
+
+package arena
+
+// Poisoning is off outside race builds; see poison_race.go.
+const Poisoning = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package arena
+
+// Poisoning reports whether released slabs are poison-filled.  It is on
+// exactly under the race detector: the poison turns a use-after-release
+// through a stale view into loudly wrong values in the same builds the race
+// gates already run, and stays off in benchmark builds where the fill would
+// distort the steady-state cost the arena exists to remove.
+const Poisoning = true

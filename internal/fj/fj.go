@@ -7,6 +7,13 @@
 // oblivious, the paper's thesis applied to the repo: one kernel source earns
 // its measurements on both machines.
 //
+// Mid-run scratch follows the same discipline on both backends: AllocI64 and
+// friends draw charged, block-aligned allocations from the executing core's
+// arena on the simulator, and recycled cache-line-aligned slabs from the
+// executing worker's internal/arena shard on real hardware.  The Free hooks
+// (FreeI64, FreeRuns, ...) return a slab for reuse on the real backend and
+// are no-ops under the simulator, whose charge profile they leave untouched.
+//
 // A computation is a function func(*Ctx).  Ctx offers structured fork-join
 // parallelism — Fork/Join with a LIFO join discipline, Parallel, and a
 // binary-splitting parallel For — plus per-backend leaf cutoffs (Grain) so
@@ -14,7 +21,7 @@
 // observes a deep recursion.  Data lives in the typed views of view.go
 // (I64, F64, C128), allocated either up front through an Env or mid-run
 // through Ctx.AllocI64 and friends (per-core block-aligned allocations on the
-// simulator, plain make on real hardware).
+// simulator, per-worker arena slabs on real hardware).
 //
 // Lowerings:
 //
@@ -78,16 +85,21 @@ func (c *Ctx) Op(n int64) {
 // Handle joins a forked task.
 type Handle struct {
 	rh  rt.Handle // real backend
+	fr  *frame    // real backend: pooled fork frame, recycled at Join
 	idx int       // sim backend: fork depth for the LIFO check
 }
 
 // Fork schedules fn as a stealable parallel task and returns its join
 // handle.  The caller keeps executing; joins must be LIFO (join the most
 // recent unjoined fork first) so the computation stays series-parallel —
-// the shape both lowerings, and the paper's HBP model, require.
+// the shape both lowerings, and the paper's HBP model, require.  On the
+// real backend the fork's bookkeeping lives in a pooled per-worker frame
+// (scratch.go), so a steady-state fork allocates nothing.
 func (c *Ctx) Fork(fn func(*Ctx)) Handle {
 	if c.rc != nil {
-		return Handle{rh: c.rc.Fork(func(rc *rt.Ctx) { fn(&Ctx{rc: rc}) })}
+		fr := c.frame()
+		fr.fn = fn
+		return Handle{rh: c.rc.Fork(fr.invoke), fr: fr}
 	}
 	return c.forkSim(fn)
 }
@@ -97,33 +109,39 @@ func (c *Ctx) Fork(fn func(*Ctx)) Handle {
 func (c *Ctx) Join(h Handle) {
 	if c.rc != nil {
 		c.rc.Join(h.rh)
+		if h.fr != nil {
+			c.release(h.fr)
+		}
 		return
 	}
 	c.joinSim(h)
 }
 
-// Parallel runs a and b as parallel subtasks and returns when both finish.
+// Parallel runs a and b as parallel subtasks and returns when both finish:
+// b is forked, a runs inline on the calling context (the same shape on both
+// backends — and on real hardware a fork's advertised steal depth is
+// unchanged, so the Priority victim rule sees the same stealable work a
+// hand-written rt kernel would expose).
 func (c *Ctx) Parallel(a, b func(*Ctx)) {
-	if c.rc != nil {
-		// Delegate to rt so its depth bookkeeping (used by the Priority
-		// victim rule) sees the same tree a hand-written kernel would build.
-		c.rc.Parallel(
-			func(rc *rt.Ctx) { a(&Ctx{rc: rc}) },
-			func(rc *rt.Ctx) { b(&Ctx{rc: rc}) },
-		)
-		return
-	}
-	h := c.forkSim(b)
+	h := c.Fork(b)
 	a(c)
-	c.joinSim(h)
+	c.Join(h)
 }
 
-// For runs body(c, i) for lo ≤ i < hi with binary splitting down to grain
+// For runs body(c, i) for lo ≤ i < hi with parallel splitting down to grain
 // (typically c.Grain(sim, real)); at or below the grain the indices run
-// serially in ascending order on the calling task.
+// serially in ascending order on the calling task.  The sim lowering splits
+// binarily (the balanced tree the depth measurements model); the real
+// lowering descends the left spine forking right halves from pooled frames
+// (forReal in scratch.go) — same leaves, same disjoint writes, no per-split
+// allocation.
 func (c *Ctx) For(lo, hi, grain int64, body func(c *Ctx, i int64)) {
 	if grain < 1 {
 		grain = 1
+	}
+	if c.rc != nil {
+		c.forReal(lo, hi, grain, body)
+		return
 	}
 	if hi-lo <= grain {
 		for i := lo; i < hi; i++ {

@@ -1,0 +1,135 @@
+package fj
+
+import (
+	"repro/internal/arena"
+	"repro/internal/rt"
+)
+
+// Real-lowering scratch machinery.  Two pools hang off the executing
+// worker's arena shard (rt.Ctx.Scratch), both strictly worker-local:
+//
+//   - fork frames: the closure that adapts an fj task body to the rt task
+//     signature, plus the small Ctx it hands the body.  Binding them once
+//     per frame and recycling frames after Join makes Fork/Parallel/For
+//     allocation-free in the steady state — previously every fork heap-
+//     allocated a wrapper closure and a Ctx.
+//   - view spans ([]I64 run lists): the sort kernels build and discard run
+//     lists at every merge level; AllocRuns/FreeRuns recycle them the same
+//     way AllocI64/FreeI64 recycle element slabs.
+//
+// A frame is reused only after the Join of its fork returns, which the rt
+// done-flag acquire orders after everything its task wrote — so handing the
+// frame to the next Fork on this worker can never race with a thief that
+// executed the previous one.
+type wlocal struct {
+	frames *frame
+	spans  arena.Pool[I64]
+}
+
+// local returns the per-worker fj pools, installing them in the shard's Aux
+// slot on first use.  Real backend only.
+func (c *Ctx) local() *wlocal {
+	sh := c.rc.Scratch()
+	if l, ok := sh.Aux.(*wlocal); ok {
+		return l
+	}
+	l := &wlocal{}
+	sh.Aux = l
+	return l
+}
+
+// frame is one pooled fork: either a plain task body (fn) or a For range
+// (lo/hi/grain/body).  invoke is the rt-shaped entry bound to this frame
+// once at construction, and ctx is the fj context the executing worker
+// fills in — both live here precisely so the fork path allocates nothing.
+type frame struct {
+	fn            func(*Ctx)
+	lo, hi, grain int64
+	body          func(*Ctx, int64)
+	ctx           Ctx
+	invoke        func(*rt.Ctx)
+	next          *frame // free-list link, owner-only
+}
+
+func (fr *frame) run(rc *rt.Ctx) {
+	fr.ctx = Ctx{rc: rc}
+	if fr.fn != nil {
+		fr.fn(&fr.ctx)
+		return
+	}
+	fr.ctx.forReal(fr.lo, fr.hi, fr.grain, fr.body)
+}
+
+// frame pops a free frame from the worker's pool (or builds one, binding
+// invoke exactly once).
+func (c *Ctx) frame() *frame {
+	l := c.local()
+	fr := l.frames
+	if fr == nil {
+		fr = &frame{}
+		fr.invoke = fr.run
+	} else {
+		l.frames = fr.next
+		fr.next = nil
+	}
+	return fr
+}
+
+// release returns a joined frame to the executing worker's pool, dropping
+// the body references so the pool retains no caller state.
+func (c *Ctx) release(fr *frame) {
+	fr.fn, fr.body = nil, nil
+	l := c.local()
+	fr.next = l.frames
+	l.frames = fr
+}
+
+// forReal is the real lowering of For: descend the left half iteratively,
+// forking each right half as one pooled frame, run the leftmost leaf
+// serially, then join in LIFO order.  The task set and every write are
+// identical to the sim lowering's binary split; only the shape of the spawn
+// bookkeeping differs (and it allocates nothing).  64 handles suffice: the
+// range halves at every step.
+func (c *Ctx) forReal(lo, hi, grain int64, body func(*Ctx, int64)) {
+	var hs [64]Handle
+	nh := 0
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		fr := c.frame()
+		fr.lo, fr.hi, fr.grain, fr.body = mid, hi, grain, body
+		hs[nh] = Handle{rh: c.rc.Fork(fr.invoke), fr: fr}
+		nh++
+		hi = mid
+	}
+	for i := lo; i < hi; i++ {
+		body(c, i)
+	}
+	for nh > 0 {
+		nh--
+		c.Join(hs[nh])
+	}
+}
+
+// AllocRuns returns a zeroed span of n I64 views from the worker's span
+// pool (a plain make under the simulator, where run lists are uncharged
+// local state).  Pair with FreeRuns when the span is dead; spans, like
+// element slabs, are recycled LIFO.
+func (c *Ctx) AllocRuns(n int64) []I64 {
+	if c.rc == nil {
+		return make([]I64, n)
+	}
+	return c.local().spans.Get(n)
+}
+
+// FreeRuns releases a span obtained from AllocRuns.  The full capacity is
+// cleared before pooling so recycled spans come back zeroed and the pool
+// never retains the caller's views (or the slabs they point to).  No-op
+// under the simulator.
+func (c *Ctx) FreeRuns(s []I64) {
+	if c.rc == nil || s == nil {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	c.local().spans.Put(s)
+}

@@ -59,39 +59,105 @@ func (e *Env) C128(n int64) C128 {
 // nothing and cannot be used under the simulator.
 func WrapI64(s []int64) I64 { return I64{s: s} }
 
-// AllocI64 allocates an n-element int64 view mid-computation: a charged,
-// block-aligned allocation from the executing core's arena on the simulator
-// (the paper's allocation property: per-core allocations never share a
-// block), a plain make on real hardware.
+// AllocI64 allocates an n-element zeroed int64 view mid-computation: a
+// charged, block-aligned allocation from the executing core's arena on the
+// simulator (the paper's allocation property: per-core allocations never
+// share a block), a recycled cache-line-aligned slab from the executing
+// worker's arena shard on real hardware.  Pair real allocations with
+// FreeI64 when the view is dead so the kernel's whole recursion reuses one
+// footprint; an unfreed view is merely garbage-collected like any slice.
 func (c *Ctx) AllocI64(n int64) I64 {
 	if c.sc != nil {
 		return I64{a: c.sc.AllocArray(n)}
 	}
-	return I64{s: make([]int64, n)}
+	s := c.rc.Scratch().I64.Get(n)
+	clear(s)
+	return I64{s: s, ar: true}
 }
 
-// AllocF64 allocates an n-element float64 view mid-computation.
+// ScratchI64 allocates like AllocI64 but skips zeroing the slab on the real
+// backend — for scratch the caller fully writes before reading.  Identical
+// to AllocI64 under the simulator (same charge profile).
+func (c *Ctx) ScratchI64(n int64) I64 {
+	if c.sc != nil {
+		return I64{a: c.sc.AllocArray(n)}
+	}
+	return I64{s: c.rc.Scratch().I64.Get(n), ar: true}
+}
+
+// FreeI64 releases a view obtained from AllocI64/ScratchI64 back to the
+// executing worker's arena; the caller must not touch the view (or any
+// sub-view of it) afterwards, and must not free a view twice.  Views that
+// did not come from an arena Alloc — Env allocations, WrapI64 wrappings,
+// sub-views made by Slice — are silently left alone, so a Free can never
+// recycle memory the arena does not own.  No-op under the simulator.
+func (c *Ctx) FreeI64(v I64) {
+	if !v.ar {
+		return
+	}
+	c.rc.Scratch().I64.Put(v.s)
+}
+
+// AllocF64 allocates an n-element zeroed float64 view mid-computation.
 func (c *Ctx) AllocF64(n int64) F64 {
 	if c.sc != nil {
 		return F64{a: c.sc.AllocArray(n)}
 	}
-	return F64{s: make([]float64, n)}
+	s := c.rc.Scratch().F64.Get(n)
+	clear(s)
+	return F64{s: s, ar: true}
 }
 
-// AllocC128 allocates an n-element complex128 view mid-computation.
+// ScratchF64 is AllocF64 without the real-backend zeroing.
+func (c *Ctx) ScratchF64(n int64) F64 {
+	if c.sc != nil {
+		return F64{a: c.sc.AllocArray(n)}
+	}
+	return F64{s: c.rc.Scratch().F64.Get(n), ar: true}
+}
+
+// FreeF64 releases a view obtained from AllocF64/ScratchF64 (see FreeI64).
+func (c *Ctx) FreeF64(v F64) {
+	if !v.ar {
+		return
+	}
+	c.rc.Scratch().F64.Put(v.s)
+}
+
+// AllocC128 allocates an n-element zeroed complex128 view mid-computation.
 func (c *Ctx) AllocC128(n int64) C128 {
 	if c.sc != nil {
 		return C128{a: mem.CArray{Space: c.sc.Space(), Base: c.sc.Alloc(2 * n), N: n}}
 	}
-	return C128{s: make([]complex128, n)}
+	s := c.rc.Scratch().C128.Get(n)
+	clear(s)
+	return C128{s: s, ar: true}
+}
+
+// ScratchC128 is AllocC128 without the real-backend zeroing.
+func (c *Ctx) ScratchC128(n int64) C128 {
+	if c.sc != nil {
+		return C128{a: mem.CArray{Space: c.sc.Space(), Base: c.sc.Alloc(2 * n), N: n}}
+	}
+	return C128{s: c.rc.Scratch().C128.Get(n), ar: true}
+}
+
+// FreeC128 releases a view obtained from AllocC128/ScratchC128 (see
+// FreeI64).
+func (c *Ctx) FreeC128(v C128) {
+	if !v.ar {
+		return
+	}
+	c.rc.Scratch().C128.Put(v.s)
 }
 
 // I64 is a backend-neutral view of n int64 elements.  Get and Set go through
 // a Ctx and are charged on the simulator; Load, Store and Words bypass the
 // charge model for setup, verification and result extraction.
 type I64 struct {
-	s []int64   // real backing (nil under the simulator)
-	a mem.Array // sim backing
+	s  []int64   // real backing (nil under the simulator)
+	a  mem.Array // sim backing
+	ar bool      // s is an original arena allocation, returnable via FreeI64
 }
 
 // Len returns the number of elements.
@@ -162,8 +228,9 @@ func (v I64) Words() []int64 {
 // F64 is a backend-neutral view of n float64 elements (one word each on the
 // simulator, stored as IEEE-754 bits).
 type F64 struct {
-	s []float64
-	a mem.Array
+	s  []float64
+	a  mem.Array
+	ar bool // s is an original arena allocation, returnable via FreeF64
 }
 
 // Len returns the number of elements.
@@ -234,8 +301,9 @@ func (v F64) Words() []int64 {
 // Get or Set charges two word accesses — exactly the footprint the Table-1
 // FFT analysis assumes.
 type C128 struct {
-	s []complex128
-	a mem.CArray
+	s  []complex128
+	a  mem.CArray
+	ar bool // s is an original arena allocation, returnable via FreeC128
 }
 
 // Len returns the number of complex elements.

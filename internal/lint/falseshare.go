@@ -48,6 +48,13 @@ func runFalseShare(p *Package) []Finding {
 			if !ok || str.NumFields() == 0 {
 				return true
 			}
+			// A generic declaration body (fields mentioning a type parameter)
+			// has no layout of its own — only instantiations do, and Sizes
+			// panics on an uninstantiated T.  Contention is a property of the
+			// concrete instantiation sites, which are checked where they occur.
+			if structMentionsTypeParam(str) {
+				return true
+			}
 			out = append(out, checkStructLayout(p, st, str, atomicFields, contendedLines)...)
 			return true
 		})
@@ -123,6 +130,67 @@ func checkStructLayout(p *Package, st *ast.StructType, str *types.Struct, atomic
 		})
 	}
 	return out
+}
+
+// structMentionsTypeParam reports whether any field type of str transitively
+// mentions a type parameter.
+func structMentionsTypeParam(str *types.Struct) bool {
+	for i := 0; i < str.NumFields(); i++ {
+		if mentionsTypeParam(str.Field(i).Type(), nil) {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsTypeParam(t types.Type, seen []types.Type) bool {
+	for _, s := range seen {
+		if s == t {
+			return false
+		}
+	}
+	seen = append(seen, t)
+	switch u := t.(type) {
+	case *types.TypeParam:
+		return true
+	case *types.Named:
+		if ta := u.TypeArgs(); ta != nil {
+			for i := 0; i < ta.Len(); i++ {
+				if mentionsTypeParam(ta.At(i), seen) {
+					return true
+				}
+			}
+		}
+		return mentionsTypeParam(u.Underlying(), seen)
+	case *types.Pointer:
+		return mentionsTypeParam(u.Elem(), seen)
+	case *types.Slice:
+		return mentionsTypeParam(u.Elem(), seen)
+	case *types.Array:
+		return mentionsTypeParam(u.Elem(), seen)
+	case *types.Map:
+		return mentionsTypeParam(u.Key(), seen) || mentionsTypeParam(u.Elem(), seen)
+	case *types.Chan:
+		return mentionsTypeParam(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if mentionsTypeParam(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Signature:
+		for i := 0; i < u.Params().Len(); i++ {
+			if mentionsTypeParam(u.Params().At(i).Type(), seen) {
+				return true
+			}
+		}
+		for i := 0; i < u.Results().Len(); i++ {
+			if mentionsTypeParam(u.Results().At(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // structDisplayName names the struct for messages: the enclosing type

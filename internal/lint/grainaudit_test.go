@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"maps"
+	"testing"
+
+	"repro/internal/algos/registry"
+)
+
+func TestGrainAuditGolden(t *testing.T) {
+	runGolden(t, "grainaudit", []*Analyzer{GrainAudit(map[string]int64{"grainaudit": 512})})
+}
+
+// TestGrainAuditScope pins the scoping: under the default table the golden
+// package's path segment is unknown, so the same cutoff-riddled source must
+// produce nothing.
+func TestGrainAuditScope(t *testing.T) {
+	pkgs := loadTestdata(t, "grainaudit")
+	active, suppressed := Check(pkgs, []*Analyzer{GrainAudit(DefaultGrainAuditSizes)})
+	for _, f := range append(active, suppressed...) {
+		t.Errorf("out-of-scope package produced a finding: %s", f)
+	}
+}
+
+// TestGrainAuditSizesMatchRegistry pins DefaultGrainAuditSizes against the
+// registry's sim sweeps: for every fj kernel the table entry must equal the
+// smallest SimSizes value, converted to the unit the kernel package's Grain
+// cutoffs compare against — the side for matmul/strassen (whose sweeps are
+// already sides), rows·cols for transpose (package "mat", which grains on
+// the element count), and the element count for everything else.
+func TestGrainAuditSizesMatchRegistry(t *testing.T) {
+	want := map[string]int64{}
+	for _, k := range registry.FJKernels() {
+		if len(k.SimSizes) == 0 {
+			t.Fatalf("kernel %s has no SimSizes", k.Name)
+		}
+		min := k.SimSizes[0]
+		for _, s := range k.SimSizes {
+			if s < min {
+				min = s
+			}
+		}
+		switch k.Name {
+		case "transpose":
+			want["mat"] = min * min
+		default:
+			want[k.Name] = min
+		}
+	}
+	if !maps.Equal(want, DefaultGrainAuditSizes) {
+		t.Errorf("DefaultGrainAuditSizes drifted from the registry sweeps:\n got  %v\n want %v",
+			DefaultGrainAuditSizes, want)
+	}
+}

@@ -1,4 +1,4 @@
-// Package lint is the repo's paper-aware static analysis suite: four
+// Package lint is the repo's paper-aware static analysis suite: five
 // analyzers that check, at compile time and on every package, the invariants
 // the rest of the codebase otherwise enforces only dynamically (one
 // unsafe-based layout test in internal/rt) or not at all.
@@ -19,6 +19,12 @@
 //   - determinism flags, in the harness/bench/registry packages that feed
 //     the -canon byte-stability gates, calls to time.Now, global (unseeded)
 //     math/rand functions, and map-range iteration feeding Row output.
+//   - grainaudit resolves the simulated-backend argument of every
+//     ctx.Grain(sim, real) call in the fj kernel packages to its constant
+//     value and flags cutoffs at or above the smallest size the registry's
+//     sim sweep feeds that kernel — a grain that large serializes the
+//     sweep's low end, so the EXP14/EXP15 fits would measure a recursion
+//     that never forks.
 //
 // Findings can be suppressed with an annotation on the offending line or
 // the line directly above it:
@@ -64,6 +70,7 @@ func Analyzers() []*Analyzer {
 		AtomicMix(),
 		FJDiscipline(),
 		Determinism(DefaultDeterminismScope...),
+		GrainAudit(DefaultGrainAuditSizes),
 	}
 }
 

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -138,6 +139,9 @@ func (l *Loader) parseDir(dir string) (nonTest, inTest, extTest []*ast.File, err
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		if !buildOK(f) {
+			continue
+		}
 		switch {
 		case !strings.HasSuffix(name, "_test.go"):
 			nonTest = append(nonTest, f)
@@ -154,6 +158,36 @@ func (l *Loader) parseDir(dir string) (nonTest, inTest, extTest []*ast.File, err
 		nonTest, inTest = inTest, nil
 	}
 	return nonTest, inTest, extTest, nil
+}
+
+// buildOK reports whether f's //go:build constraint (if any) is satisfied
+// under the build the analyzers model: the default, non-instrumented one —
+// current GOOS/GOARCH, the gc toolchain, and no "race" tag.  Without this
+// filter a pair of tag-alternated files (internal/arena's poison switch)
+// would typecheck as a redeclaration.
+func buildOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+					return true
+				}
+				return strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return true
 }
 
 // check typechecks one file set as the package at path.

@@ -43,6 +43,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"unsafe"
+
+	"repro/internal/arena"
 )
 
 // Policy selects the victim rule for steals.
@@ -132,12 +134,18 @@ func newState(p int, layout Layout) ([]atomic.Int64, []cells) {
 	return buf, cs
 }
 
-// task is one forked frame: the body, its fork depth, and the done flag the
-// joiner and thieves synchronize on.
+// task is one forked frame: the body, its fork depth, the done flag the
+// joiner and thieves synchronize on, and the Ctx the executing worker hands
+// the body.  Embedding the Ctx in the frame keeps the execution path
+// allocation-free: &t.ctx escapes into fn, but the frame is slab memory
+// already, so no per-task heap object is created.  Only the executor writes
+// ctx, and the joiner reads the frame only after the done acquire, so the
+// sharing is as ordered as done itself.
 type task struct {
 	fn    func(*Ctx)
 	depth int32
 	done  atomic.Uint32
+	ctx   Ctx
 }
 
 func (t *task) isDone() bool { return t.done.Load() != 0 }
@@ -150,6 +158,10 @@ type taskFootprint struct {
 	fn    func()
 	depth int32
 	done  atomic.Uint32
+	ctx   struct {
+		w     uintptr
+		depth int
+	}
 }
 
 // taskSize is the unpadded task frame footprint.
@@ -228,12 +240,13 @@ type Pool struct {
 }
 
 type worker struct {
-	id    int
-	pool  *Pool
-	st    cells
-	dq    deque
-	rng   *rand.Rand // owner-only: victim sampling for the Random policy
-	arena taskArena  // owner-only: task frames this worker forks
+	id      int
+	pool    *Pool
+	st      cells
+	dq      deque
+	rng     *rand.Rand   // owner-only: victim sampling for the Random policy
+	arena   taskArena    // owner-only: task frames this worker forks
+	scratch *arena.Shard // owner-only: scratch slabs for kernel allocations
 }
 
 // Ctx is passed to every task body; it identifies the executing worker.
@@ -264,10 +277,11 @@ func NewPoolLayout(p int, policy Policy, layout Layout) *Pool {
 	pool.state, blocks = newState(p, layout)
 	for i := 0; i < p; i++ {
 		w := &worker{
-			id:   i,
-			pool: pool,
-			st:   blocks[i],
-			rng:  rand.New(rand.NewSource(int64(i)*7919 + 17)),
+			id:      i,
+			pool:    pool,
+			st:      blocks[i],
+			rng:     rand.New(rand.NewSource(int64(i)*7919 + 17)),
+			scratch: arena.NewShard(),
 		}
 		w.arena.padded = layout == LayoutPadded
 		w.dq.init(w.st.top, w.st.bottom)
@@ -356,7 +370,8 @@ func (w *worker) loop() {
 }
 
 func (w *worker) run(t *task) {
-	t.fn(&Ctx{w: w, depth: int(t.depth)})
+	t.ctx = Ctx{w: w, depth: int(t.depth)}
+	t.fn(&t.ctx)
 	t.done.Store(1)
 	w.st.executed.Add(1)
 	w.pool.wake()
@@ -493,6 +508,14 @@ func (p *Pool) trySteal(thief *worker) *task {
 	}
 	return nil
 }
+
+// Scratch returns the executing worker's arena shard.  The shard is
+// owner-only: it may be used only from the task body this Ctx was handed to
+// (which runs entirely on the owning worker's goroutine, help-running
+// included), never stashed and touched from elsewhere.  Slabs themselves may
+// migrate — a task may release to its executing worker a slab another worker
+// allocated — because a slab has exactly one owner at a time.
+func (c *Ctx) Scratch() *arena.Shard { return c.w.scratch }
 
 // Fork pushes fn as a stealable task and returns its join handle.
 func (c *Ctx) Fork(fn func(*Ctx)) Handle {

@@ -75,13 +75,21 @@ func TestNestedForks(t *testing.T) {
 }
 
 func TestStealsHappen(t *testing.T) {
+	// On a single-CPU host a whole Run can finish on the owner worker before
+	// the Go scheduler ever gives a thief its time slice, so any one Run may
+	// legitimately observe zero steals.  Stealing is a property of the pool,
+	// not of one scheduling outcome: drive repeated Runs (the counter
+	// accumulates across them) until a successful steal shows up.
 	pool := NewPool(4, Random)
-	pool.Run(func(c *Ctx) {
-		c.Reduce(0, 1<<18, 256, func(i int) int64 { return 1 })
-	})
-	if pool.Steals() == 0 {
-		t.Error("expected steals on a 4-worker pool")
+	for round := 0; round < 200; round++ {
+		pool.Run(func(c *Ctx) {
+			c.Reduce(0, 1<<18, 256, func(i int) int64 { return 1 })
+		})
+		if pool.Steals() > 0 {
+			return
+		}
 	}
+	t.Error("expected steals on a 4-worker pool within 200 runs")
 }
 
 func TestPoolReuse(t *testing.T) {

@@ -2,10 +2,13 @@
 # bench_snapshot.sh — seed/refresh the real-backend perf trajectory.
 #
 # Runs the root overhead-guard benchmarks (matmul and both sort kernels,
-# hand-written baselines included) a few times, takes the per-benchmark
-# MEDIAN ns/op, and writes BENCH_sort.json at the repo root.  The file is
-# committed, so `git log -p BENCH_sort.json` is the perf trajectory; the
-# per-PR diff protocol lives in EXPERIMENTS.md ("Perf trajectory").
+# hand-written baselines included) a few times with -benchmem, takes the
+# per-benchmark MEDIAN of ns/op, B/op and allocs/op, and writes
+# BENCH_sort.json at the repo root.  The file is committed, so
+# `git log -p BENCH_sort.json` is the perf trajectory — wall clock AND
+# steady-state allocation, so an arena regression shows up even when the
+# machine is too noisy for ns/op to move; the per-PR diff protocol lives in
+# EXPERIMENTS.md ("Perf trajectory").
 #
 # Usage: scripts/bench_snapshot.sh [count]   (default 3 runs per benchmark)
 set -euo pipefail
@@ -15,35 +18,45 @@ COUNT="${1:-3}"
 OUT="BENCH_sort.json"
 
 RAW=$(go test -run '^$' -bench 'BenchmarkRealMatmul|BenchmarkRealSort' \
-	-benchtime 10x -count "$COUNT" .)
+	-benchmem -benchtime 10x -count "$COUNT" .)
 
 echo "$RAW" | awk -v count="$COUNT" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
-	vals[name] = vals[name] " " $3
-	order[name] = ++seen[name] == 1 ? ++nn : order[name]
-	names[nn] = name
+	if (!(name in cnt)) names[++nn] = name
+	cnt[name]++
+	ns[name, cnt[name]] = $3    # ns/op
+	by[name, cnt[name]] = $5    # B/op
+	al[name, cnt[name]] = $7    # allocs/op
 }
+# median sorts the n samples of one benchmark (insertion sort; portable awk
+# has no asort) and returns the true median — the mean of the middle pair
+# for an even count, not a truncated integer.
+function median(arr, name, n,    i, j, x, v, mid) {
+	for (i = 1; i <= n; i++) v[i] = arr[name, i] + 0
+	for (i = 2; i <= n; i++) {
+		x = v[i]
+		for (j = i - 1; j >= 1 && v[j] > x; j--) v[j + 1] = v[j]
+		v[j + 1] = x
+	}
+	mid = int((n + 1) / 2)
+	return (n % 2 == 1) ? v[mid] : (v[mid] + v[mid + 1]) / 2
+}
+# num renders integral medians without a decimal point and half-way
+# even-count medians with one.
+function num(x) { return (x == int(x)) ? sprintf("%d", x) : sprintf("%.1f", x) }
 END {
 	printf "{\n"
 	printf "  \"benchtime\": \"10x\",\n"
 	printf "  \"count\": %d,\n", count
-	printf "  \"unit\": \"ns/op\",\n"
+	printf "  \"units\": {\"ns_per_op\": \"ns/op\", \"bytes_per_op\": \"B/op\", \"allocs_per_op\": \"allocs/op\"},\n"
 	printf "  \"median\": {\n"
 	for (i = 1; i <= nn; i++) {
 		name = names[i]
-		n = split(vals[name], v, " ")
-		asort_n = n
-		# insertion sort (portable awk has no asort)
-		for (a = 2; a <= n; a++) {
-			x = v[a]
-			for (b = a - 1; b >= 1 && v[b] > x + 0; b--) v[b + 1] = v[b]
-			v[b + 1] = x
-		}
-		mid = int((n + 1) / 2)
-		med = (n % 2 == 1) ? v[mid] : (v[mid] + v[mid + 1]) / 2
-		printf "    \"%s\": %d%s\n", name, med, (i < nn ? "," : "")
+		printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			name, num(median(ns, name, cnt[name])), num(median(by, name, cnt[name])), \
+			num(median(al, name, cnt[name])), (i < nn ? "," : "")
 	}
 	printf "  }\n"
 	printf "}\n"

@@ -42,10 +42,13 @@ if [ "$MODE" != grid ]; then
     echo "== gate: go test -race ./internal/rt (lock-free deque + parking) =="
     go test -race ./internal/rt/ ./internal/core/
 
-    echo "== gate: -race over the fj frontend + cross-backend equality =="
+    echo "== gate: -race over the fj frontend + arena + cross-backend equality =="
     # The fj real lowering runs genuinely parallel pools and the equality gate
-    # compares its outputs against the sim lowering byte for byte.
-    go test -race ./internal/fj/ ./internal/algos/registry/
+    # compares its outputs against the sim lowering byte for byte; the arena
+    # tests and the root alloc-regression pins run here too, because the race
+    # build is where released slabs are poison-filled.
+    go test -race ./internal/fj/ ./internal/arena/ ./internal/algos/registry/
+    go test -race -run 'TestSortAllocRegression' .
 
     echo "== gate: -race over the kernel service + fuzz seed corpora =="
     # The serve battery exercises concurrent clients, cancellation and
@@ -59,7 +62,10 @@ if [ "$MODE" != grid ]; then
     # concurrently; race-check it without paying for the full suite under -race.
     go test -race -run 'TestGoldenRowsIdenticalAcrossParallelism/(EXP05|EXP07|EXP12|EXP13|EXP14|EXP15|EXP16)' ./internal/bench/
 
-    echo "== gate: hbplint (falseshare/atomicmix/fjdiscipline/determinism) =="
+    echo "== gate: benchmark smoke (every benchmark runs one iteration) =="
+    go test -run '^$' -bench . -benchtime 1x . >/dev/null
+
+    echo "== gate: hbplint (falseshare/atomicmix/fjdiscipline/determinism/grainaudit) =="
     go run ./cmd/hbplint -stats ./...
 
     echo "== gate: docs (package comments + markdown links) =="
