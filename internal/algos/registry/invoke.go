@@ -4,7 +4,11 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/algos/fft"
 	"repro/internal/algos/gather"
+	"repro/internal/algos/listrank"
+	"repro/internal/algos/mat"
+	"repro/internal/algos/matmul"
 	"repro/internal/algos/scan"
 	"repro/internal/algos/sortx"
 	"repro/internal/algos/spms"
@@ -21,23 +25,35 @@ import (
 // word vector.  Malformed payloads come back as errors (the serving layer
 // maps them to 400), never as panics.
 //
-// Payload encodings (all words are int64):
+// Every fj kernel in the catalog is invocable.  Each entry is derived by
+// the codec layer (codec.go): an element codec keyed off the kernel's fj
+// view type (I64, F64 as IEEE-754 bit words, C128 as interleaved re/im
+// word pairs) plus a shape giving the payload geometry — so the catalog,
+// not per-kernel glue, defines what is servable.  The Payload field states
+// each encoding; in brief:
 //
-//	sort, sortx  n keys; output is the n keys sorted ascending
-//	scan         n values; output[i] = sum of values[0..i]
-//	gather       2n words: n indices then n values; output[i] =
-//	             values[idx[i]] for 0 ≤ idx[i] < n, sentinel −1 otherwise
-//	strassen     2n² words: row-major A then B, n a power of two;
-//	             output is the n² words of A·B
+//	sort, sortx  n i64 keys; output is the keys sorted ascending
+//	scan         n i64 values; output[i] = sum of values[0..i]
+//	gather       2n i64 words: n indices then n values
+//	listrank     n i64 successor indices encoding a single chain
+//	strassen     2n² i64 words: row-major A then B, n a power of two
+//	matmul       2n² f64-bit words: row-major A then B, n a power of two
+//	transpose    n² f64-bit words: one row-major square matrix
+//	fft          2n words: re/im interleaved f64 bits, n a power of two
 //
 // Invocables run on the real backend only (payloads are native Go memory,
-// wrapped zero-copy via fj.WrapI64); the serving layer schedules Run inside
-// a fork-join invocation on its shared rt.Pool.
+// wrapped zero-copy via fj.WrapI64/WrapF64/WrapC128); the serving layer
+// schedules Run inside a fork-join invocation on its shared rt.Pool.
 
 // Invocable is a kernel callable by name with a caller-supplied payload.
 type Invocable struct {
 	Name string
 	Desc string
+	// Payload documents the wire encoding (surfaced on /kernels).
+	Payload string
+	// Codec is the element codec the payload decodes through (codec.go);
+	// Codec.RoundTrip is the byte-identity contract FuzzInvokeCodec pins.
+	Codec *Codec
 	// Validate checks the payload's shape (length, encoded-dimension and
 	// index-range constraints).  A nil error guarantees Run will not panic
 	// on this input; n = 0 and n = 1 degenerates are valid for every kernel.
@@ -78,27 +94,6 @@ func FindInvocable(name string) (Invocable, bool) {
 	return Invocable{}, false
 }
 
-// validKeys accepts any flat key vector: every length is a legal sort/scan
-// input, including the empty one.
-func validKeys([]int64) error { return nil }
-
-// sameLen is the OutLen of the in-place-shaped kernels.
-func sameLen(in []int64) int64 { return int64(len(in)) }
-
-// identWords is the InWords of the flat-key kernels (payload = n words).
-func identWords(n int64) int64 { return n }
-
-// satMul multiplies saturating at MaxInt64, for InWords overflow safety.
-func satMul(a, b int64) int64 {
-	if a <= 0 || b <= 0 {
-		return a * b
-	}
-	if a > (1<<63-1)/b {
-		return 1<<63 - 1
-	}
-	return a * b
-}
-
 // genKeys seeds n keys in [0, mod) with the catalog's fill convention.
 func genKeys(n int64, seed uint64, mod int64) ([]int64, error) {
 	if n < 0 {
@@ -126,61 +121,30 @@ func verifySorted(in, out []int64) bool {
 
 // sortRun copies the keys and sorts the copy in place with the given
 // fork-join sort.
-func sortRun(kernel func(*fj.Ctx, fj.I64)) func(c *fj.Ctx, in, out []int64) {
-	return func(c *fj.Ctx, in, out []int64) {
-		copy(out, in)
-		kernel(c, fj.WrapI64(out))
+func sortRun(kernel func(*fj.Ctx, fj.I64)) func(c *fj.Ctx, in, out fj.I64) {
+	return func(c *fj.Ctx, in, out fj.I64) {
+		copy(out.Raw(), in.Raw())
+		kernel(c, out)
 	}
-}
-
-// strassenDim decodes the matrix dimension of a 2n²-word payload, or an
-// error describing the shape violation.
-func strassenDim(words int64) (int64, error) {
-	if words%2 != 0 {
-		return 0, fmt.Errorf("payload has %d words, want 2·n² (A then B)", words)
-	}
-	half := words / 2
-	n := int64(0)
-	for n*n < half {
-		n++
-	}
-	if n*n != half {
-		return 0, fmt.Errorf("payload half %d words is not a square matrix", half)
-	}
-	if n&(n-1) != 0 {
-		return 0, fmt.Errorf("matrix dimension %d is not a power of two", n)
-	}
-	return n, nil
 }
 
 var invocables = []Invocable{
-	{
-		Name: "sort", Desc: "SPMS sort of an int64 key vector (the catalog's spms kernel)",
-		Validate: validKeys,
-		OutLen:   sameLen,
-		Run:      sortRun(spms.FJSort),
-		InWords:  identWords,
-		Gen:      func(n int64, seed uint64) ([]int64, error) { return genKeys(n, seed+12, 1<<30) },
-		Verify:   verifySorted,
-	},
-	{
-		Name: "sortx", Desc: "merge-path merge sort of an int64 key vector",
-		Validate: validKeys,
-		OutLen:   sameLen,
-		Run:      sortRun(sortx.FJSort),
-		InWords:  identWords,
-		Gen:      func(n int64, seed uint64) ([]int64, error) { return genKeys(n, seed+5, 1<<30) },
-		Verify:   verifySorted,
-	},
-	{
-		Name: "scan", Desc: "parallel prefix sums over an int64 vector",
-		Validate: validKeys,
-		OutLen:   sameLen,
-		Run: func(c *fj.Ctx, in, out []int64) {
-			scan.FJPrefix(c, fj.WrapI64(in), fj.WrapI64(out))
-		},
-		InWords: identWords,
-		Gen: func(n int64, seed uint64) ([]int64, error) {
+	i64Invocable("sort", "SPMS sort of an int64 key vector (the catalog's spms kernel)",
+		"n i64 keys; output sorted ascending", flatShape,
+		sortRun(spms.FJSort),
+		func(n int64, seed uint64) ([]int64, error) { return genKeys(n, seed+12, 1<<30) },
+		verifySorted,
+	),
+	i64Invocable("sortx", "merge-path merge sort of an int64 key vector",
+		"n i64 keys; output sorted ascending", flatShape,
+		sortRun(sortx.FJSort),
+		func(n int64, seed uint64) ([]int64, error) { return genKeys(n, seed+5, 1<<30) },
+		verifySorted,
+	),
+	i64Invocable("scan", "parallel prefix sums over an int64 vector",
+		"n i64 values; output[i] = values[0]+…+values[i]", flatShape,
+		func(c *fj.Ctx, in, out fj.I64) { scan.FJPrefix(c, in, out) },
+		func(n int64, seed uint64) ([]int64, error) {
 			if n < 0 {
 				return nil, fmt.Errorf("n = %d is negative", n)
 			}
@@ -188,7 +152,7 @@ var invocables = []Invocable{
 			fillI64Signed(fj.WrapI64(out), seed+6)
 			return out, nil
 		},
-		Verify: func(in, out []int64) bool {
+		func(in, out []int64) bool {
 			if len(in) != len(out) {
 				return false
 			}
@@ -201,28 +165,14 @@ var invocables = []Invocable{
 			}
 			return true
 		},
-	},
-	{
-		Name: "gather", Desc: "out[i] = vals[idx[i]] with sentinel −1 for negative indices",
-		Validate: func(in []int64) error {
-			if len(in)%2 != 0 {
-				return fmt.Errorf("payload has %d words, want 2·n (indices then values)", len(in))
-			}
-			n := int64(len(in) / 2)
-			for i := int64(0); i < n; i++ {
-				if in[i] >= n {
-					return fmt.Errorf("index %d at position %d out of range [0,%d)", in[i], i, n)
-				}
-			}
-			return nil
+	),
+	i64Invocable("gather", "out[i] = vals[idx[i]] with sentinel −1 for negative indices",
+		"2n i64 words: n indices (< n; negative → sentinel) then n values", pairShape,
+		func(c *fj.Ctx, in, out fj.I64) {
+			n := in.Len() / 2
+			gather.FJGather(c, in.Slice(0, n), in.Slice(n, 2*n), out, -1)
 		},
-		OutLen: func(in []int64) int64 { return int64(len(in) / 2) },
-		Run: func(c *fj.Ctx, in, out []int64) {
-			n := len(in) / 2
-			gather.FJGather(c, fj.WrapI64(in[:n]), fj.WrapI64(in[n:]), fj.WrapI64(out), -1)
-		},
-		InWords: func(n int64) int64 { return satMul(2, n) },
-		Gen: func(n int64, seed uint64) ([]int64, error) {
+		func(n int64, seed uint64) ([]int64, error) {
 			if n < 0 {
 				return nil, fmt.Errorf("n = %d is negative", n)
 			}
@@ -231,7 +181,7 @@ var invocables = []Invocable{
 			fillI64(fj.WrapI64(out[n:]), seed+10, 1<<30)
 			return out, nil
 		},
-		Verify: func(in, out []int64) bool {
+		func(in, out []int64) bool {
 			n := len(in) / 2
 			if len(in)%2 != 0 || len(out) != n {
 				return false
@@ -248,21 +198,43 @@ var invocables = []Invocable{
 			}
 			return true
 		},
-	},
-	{
-		Name: "strassen", Desc: "Strassen product of two n×n int64 matrices (n a power of two)",
-		Validate: func(in []int64) error {
-			_, err := strassenDim(int64(len(in)))
-			return err
+	),
+	i64Invocable("listrank", "list ranking by double-buffered pointer jumping",
+		"n i64 successor indices: a single chain, −1 terminates the tail", listShape,
+		func(c *fj.Ctx, in, out fj.I64) { listrank.FJRank(c, in, out) },
+		func(n int64, seed uint64) ([]int64, error) {
+			if n < 0 {
+				return nil, fmt.Errorf("n = %d is negative", n)
+			}
+			succ := make([]int64, n)
+			fillPermList(fj.WrapI64(succ), n, seed+11)
+			return succ, nil
 		},
-		OutLen: func(in []int64) int64 { return int64(len(in) / 2) },
-		Run: func(c *fj.Ctx, in, out []int64) {
-			n, _ := strassenDim(int64(len(in)))
+		func(in, out []int64) bool {
+			n := int64(len(in))
+			if int64(len(out)) != n || validList(in) != nil {
+				return false
+			}
+			// Walk the chain serially: ranks must descend from n−1 to 0.
+			at, want := listHead(in), n-1
+			for at >= 0 {
+				if out[at] != want {
+					return false
+				}
+				at = in[at]
+				want--
+			}
+			return want == -1
+		},
+	),
+	i64Invocable("strassen", "Strassen product of two n×n int64 matrices (n a power of two)",
+		"2n² i64 words: row-major A then B; output is A·B", matPairShape,
+		func(c *fj.Ctx, in, out fj.I64) {
+			n, _ := matPairDim(in.Len())
 			nn := n * n
-			strassen.FJMul(c, fj.WrapI64(in[:nn]), fj.WrapI64(in[nn:]), fj.WrapI64(out), n)
+			strassen.FJMul(c, in.Slice(0, nn), in.Slice(nn, 2*nn), out, n)
 		},
-		InWords: func(n int64) int64 { return satMul(2, satMul(n, n)) },
-		Gen: func(n int64, seed uint64) ([]int64, error) {
+		func(n int64, seed uint64) ([]int64, error) {
 			if n < 0 || n&(n-1) != 0 {
 				return nil, fmt.Errorf("matrix dimension %d is not a power of two", n)
 			}
@@ -271,8 +243,8 @@ var invocables = []Invocable{
 			fillI64(fj.WrapI64(out[n*n:]), seed+4, 10)
 			return out, nil
 		},
-		Verify: func(in, out []int64) bool {
-			n, err := strassenDim(int64(len(in)))
+		func(in, out []int64) bool {
+			n, err := matPairDim(int64(len(in)))
 			if err != nil || int64(len(out)) != n*n {
 				return false
 			}
@@ -294,5 +266,92 @@ var invocables = []Invocable{
 			}
 			return true
 		},
-	},
+	),
+	f64Invocable("matmul", "cache-oblivious Depth-n-MM product of two n×n float64 matrices",
+		"2n² f64-bit words: row-major A then B (n a power of two); output is A·B", matPairShape,
+		func(c *fj.Ctx, in, out []float64) {
+			n, _ := matPairDim(int64(len(in)))
+			nn := n * n
+			a := fj.WrapMatF64(in[:nn], n, n)
+			b := fj.WrapMatF64(in[nn:], n, n)
+			o := fj.WrapMatF64(out, n, n) // fresh (zeroed) — FJMul accumulates
+			matmul.FJMul(c, a.F64, b.F64, o.F64, o.Rows)
+		},
+		func(n int64, seed uint64) ([]int64, error) {
+			if n < 0 || n&(n-1) != 0 {
+				return nil, fmt.Errorf("matrix dimension %d is not a power of two", n)
+			}
+			vals := make([]float64, 2*n*n)
+			fillF64(fj.WrapF64(vals[:n*n]), seed+1)
+			fillF64(fj.WrapF64(vals[n*n:]), seed+2)
+			return f64ToWords(vals), nil
+		},
+		func(in, out []int64) bool {
+			n, err := matPairDim(int64(len(in)))
+			if err != nil || int64(len(out)) != n*n {
+				return false
+			}
+			ab, o := f64FromWords(in), f64FromWords(out)
+			return probeProductF(fj.WrapF64(ab[:n*n]), fj.WrapF64(ab[n*n:]), fj.WrapF64(o), n, 1)
+		},
+	),
+	f64Invocable("transpose", "cache-oblivious transpose of an n×n float64 matrix",
+		"n² f64-bit words: one row-major square matrix; output is its transpose", squareShape,
+		func(c *fj.Ctx, in, out []float64) {
+			n, _ := squareDim(int64(len(in)), false)
+			src := fj.WrapMatF64(in, n, n)
+			dst := fj.WrapMatF64(out, n, n)
+			mat.FJTranspose(c, src.F64, dst.F64, src.Rows, src.Cols)
+		},
+		func(n int64, seed uint64) ([]int64, error) {
+			if n < 0 {
+				return nil, fmt.Errorf("n = %d is negative", n)
+			}
+			vals := make([]float64, n*n)
+			fillF64(fj.WrapF64(vals), seed+8)
+			return f64ToWords(vals), nil
+		},
+		func(in, out []int64) bool {
+			n, err := squareDim(int64(len(in)), false)
+			if err != nil || len(out) != len(in) {
+				return false
+			}
+			// A transpose only moves bits, so verify at the word level —
+			// exact for every payload, NaN bit patterns included.
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					if out[j*n+i] != in[i*n+j] {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	),
+	c128Invocable("fft", "parallel decimation-in-time FFT over complex128 samples",
+		"2n f64-bit words: re/im interleaved (n a power of two); output is the forward DFT", fftShape,
+		func(c *fj.Ctx, in, out []complex128) {
+			copy(out, in) // FJForward transforms in place; keep in for Verify
+			fft.FJForward(c, fj.WrapC128(out))
+		},
+		func(n int64, seed uint64) ([]int64, error) {
+			if n < 0 || n&(n-1) != 0 {
+				return nil, fmt.Errorf("transform length %d is not a power of two", n)
+			}
+			data := make([]complex128, n)
+			g := LCG(seed + 7)
+			for i := int64(0); i < n; i++ {
+				re := float64(g.Next()%1000)/1000 - 0.5
+				im := float64(g.Next()%1000)/1000 - 0.5
+				data[i] = complex(re, im)
+			}
+			return c128ToWords(data), nil
+		},
+		func(in, out []int64) bool {
+			if len(out) != len(in) || len(in)%2 != 0 {
+				return false
+			}
+			return probeDFT(c128FromWords(in), fj.WrapC128(c128FromWords(out)), 1)
+		},
+	),
 }

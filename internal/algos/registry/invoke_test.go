@@ -54,6 +54,31 @@ func TestInvocableValidateTable(t *testing.T) {
 		{"strassen", "odd-words", []int64{1, 2, 3}, false},
 		{"strassen", "half-not-square", []int64{1, 2, 3, 4, 5, 6}, false},
 		{"strassen", "dim-not-pow2", make([]int64, 2*9), false}, // 3×3
+
+		{"matmul", "empty", []int64{}, true},
+		{"matmul", "1x1", f64ToWords([]float64{3, 5}), true},
+		{"matmul", "2x2", f64ToWords([]float64{1, 2, 3, 4, 5, 6, 7, 8}), true},
+		{"matmul", "odd-words", []int64{1, 2, 3}, false},
+		{"matmul", "dim-not-pow2", make([]int64, 2*9), false}, // 3×3
+
+		{"transpose", "empty", []int64{}, true},
+		{"transpose", "1x1", f64ToWords([]float64{7}), true},
+		{"transpose", "2x2", f64ToWords([]float64{1, 2, 3, 4}), true},
+		{"transpose", "not-square", make([]int64, 3), false},
+
+		{"fft", "empty", []int64{}, true},
+		{"fft", "single", f64ToWords([]float64{0.5, -0.5}), true},
+		{"fft", "two-samples", f64ToWords([]float64{1, 0, 0, 1}), true},
+		{"fft", "odd-words", []int64{1, 2, 3}, false},
+		{"fft", "len-not-pow2", make([]int64, 6), false}, // n = 3
+
+		{"listrank", "empty", []int64{}, true},
+		{"listrank", "single", []int64{-1}, true},
+		{"listrank", "chain", []int64{1, 2, -1}, true},
+		{"listrank", "out-of-range", []int64{5}, false},
+		{"listrank", "two-tails", []int64{-1, -1}, false},
+		{"listrank", "two-preds", []int64{1, 1, -1}, false},
+		{"listrank", "cycle", []int64{1, 0, -1}, false},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -113,10 +138,12 @@ func TestInvocableGen(t *testing.T) {
 			}
 		})
 	}
-	// strassen's generator must reject non-power-of-two dimensions.
-	k, _ := FindInvocable("strassen")
-	if _, err := k.Gen(3, 0); err == nil {
-		t.Fatal("strassen Gen accepted a non-power-of-two dimension")
+	// The power-of-two kernels' generators must reject other dimensions.
+	for _, name := range []string{"strassen", "matmul", "fft"} {
+		k, _ := FindInvocable(name)
+		if _, err := k.Gen(3, 0); err == nil {
+			t.Fatalf("%s Gen accepted a non-power-of-two dimension", name)
+		}
 	}
 }
 

@@ -177,7 +177,7 @@ func TestLIFOJoinEnforced(t *testing.T) {
 	RunSim(m, sched.NewPWS(), core.Options{}, 1, "bad", func(c *Ctx) {
 		h1 := c.Fork(func(*Ctx) {})
 		h2 := c.Fork(func(*Ctx) {})
-		c.Join(h1) // wrong: h2 is the innermost open fork
+		c.Join(h1) //lint:allow lifoorder deliberate violation: asserts the sim lowering panics on a FIFO join
 		c.Join(h2)
 	})
 }

@@ -1,4 +1,4 @@
-// Package lint is the repo's paper-aware static analysis suite: five
+// Package lint is the repo's paper-aware static analysis suite: six
 // analyzers that check, at compile time and on every package, the invariants
 // the rest of the codebase otherwise enforces only dynamically (one
 // unsafe-based layout test in internal/rt) or not at all.
@@ -16,6 +16,10 @@
 //   - fjdiscipline flags fj.Ctx/rt.Ctx values escaping into raw goroutines
 //     and Fork results that are discarded or never joined — the structured
 //     fork-join invariants the sim lowering's LIFO discipline depends on.
+//   - lifoorder replays each function body's Fork assignments and Join
+//     calls in source order against a handle stack and flags a Join that
+//     discharges anything but the most recent unjoined fork — the exact
+//     violation the sim lowering panics on, caught before any test runs it.
 //   - determinism flags, in the harness/bench/registry packages that feed
 //     the -canon byte-stability gates, calls to time.Now, global (unseeded)
 //     math/rand functions, and map-range iteration feeding Row output.
@@ -69,6 +73,7 @@ func Analyzers() []*Analyzer {
 		FalseShare(),
 		AtomicMix(),
 		FJDiscipline(),
+		LIFOOrder(),
 		Determinism(DefaultDeterminismScope...),
 		GrainAudit(DefaultGrainAuditSizes),
 	}

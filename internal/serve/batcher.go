@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"time"
 
@@ -38,6 +39,21 @@ type result struct {
 // Cancelled calls are dropped — their kernel is never scheduled — both on
 // arrival and in a final sweep right before the batch runs.
 //
+// With adaptive set, the partial-batch wait adapts to the offered load:
+// the dispatcher keeps an EWMA of inter-arrival gaps (measured between
+// enqueue timestamps, so a dispatcher stall cannot inflate it) and waits
+// for the next call only gapFactor times that gap (floored at gapFloor,
+// capped by the fixed deadline).  Only gaps *within* one batch assembly
+// are samples; the first arrival of a new batch just resets the
+// reference.  The inter-batch gap contains the service's own wait and run
+// time, so feeding it back would let the adaptive wait inflate its own
+// next bound — a divergent loop that, with few clients, walks the wait
+// right back up to the fixed deadline it exists to avoid.  Under traffic
+// dense enough to fill batches nothing changes; when the batch size
+// exceeds the offered concurrency the batch flushes as soon as the next
+// arrival is overdue instead of burning the whole fixed deadline — the
+// EXP16 batch > clients pathology this knob retires.
+//
 // The queue is a bounded channel: admission control is a non-blocking send,
 // so an overloaded service reports backpressure instead of queueing without
 // limit, and the queue slot is released as soon as the dispatcher picks the
@@ -50,26 +66,125 @@ type batcher struct {
 	mu     sync.RWMutex // guards closed against concurrent enqueues
 	closed bool
 
-	size  int
-	flush time.Duration
-	run   func(batch []*call)      // executes a non-empty same-kernel batch
-	drop  func(c *call, err error) // resolves a call without scheduling it
+	size     int
+	flush    time.Duration
+	adaptive bool
+	run      func(batch []*call)      // executes a non-empty same-kernel batch
+	drop     func(c *call, err error) // resolves a call without scheduling it
+
+	// Dispatcher-only arrival tracking (no locks: loop is the sole reader
+	// and writer).
+	lastArrival time.Time
+	gap         time.Duration // EWMA of inter-arrival gaps
 }
 
+// Adaptive wait tuning: wait gapFactor × the gap EWMA (the next arrival is
+// then overdue by a wide margin), never less than gapFloor (scheduler
+// jitter makes µs-scale timers meaningless), never more than the fixed
+// deadline.  The EWMA weight is 1/gapEWMAWeight per sample.
+const (
+	gapFactor     = 4
+	gapFloor      = 20 * time.Microsecond
+	gapEWMAWeight = 8
+)
+
+// tickCutoff: waits shorter than this cannot be delivered by an armed
+// timer on coarse-tick platforms — a sub-millisecond timer fires at the
+// next tick (~1ms on some kernels), 10–50× the intended adaptive wait.
+// Such waits are served by polling the queue cooperatively instead.
+const tickCutoff = 500 * time.Microsecond
+
 // newBatcher starts the dispatcher.  size is the flush width, flush the
-// partial-batch deadline, bound the queue capacity.
-func newBatcher(size int, flush time.Duration, bound int, run func([]*call), drop func(*call, error)) *batcher {
+// partial-batch deadline (the bound, under adaptive), bound the queue
+// capacity.
+func newBatcher(size int, flush time.Duration, adaptive bool, bound int, run func([]*call), drop func(*call, error)) *batcher {
 	b := &batcher{
-		queue: make(chan *call, bound),
-		stop:  make(chan struct{}),
-		size:  size,
-		flush: flush,
-		run:   run,
-		drop:  drop,
+		queue:    make(chan *call, bound),
+		stop:     make(chan struct{}),
+		size:     size,
+		flush:    flush,
+		adaptive: adaptive,
+		run:      run,
+		drop:     drop,
 	}
 	b.wg.Add(1)
 	go b.loop()
 	return b
+}
+
+// noteArrival resets the gap reference to c without sampling: used for
+// the call that opens a batch, whose distance to the previous batch is
+// service latency, not offered load.
+func (b *batcher) noteArrival(c *call) {
+	if b.adaptive {
+		b.lastArrival = c.enqueued
+	}
+}
+
+// observeArrival feeds one dequeued call into the gap EWMA.  Gaps are
+// computed between the calls' own enqueue timestamps; a negative delta
+// (clock steps, ties) clamps to zero.
+func (b *batcher) observeArrival(c *call) {
+	if !b.adaptive {
+		return
+	}
+	if !b.lastArrival.IsZero() {
+		d := c.enqueued.Sub(b.lastArrival)
+		if d <= 0 {
+			// Clock steps and timestamp ties clamp to 1ns, not 0: a sample
+			// was seen, so the adaptive wait must engage (gap > 0).
+			d = 1
+		}
+		if b.gap == 0 {
+			b.gap = d
+		} else {
+			b.gap += (d - b.gap) / gapEWMAWeight
+		}
+	}
+	b.lastArrival = c.enqueued
+}
+
+// collectWait returns how long the dispatcher should wait for the next
+// same-kernel call, given the batch assembly deadline.  The adaptive wait
+// is anchored at the last arrival's own timestamp, not at "now": once the
+// next call is gapFactor gaps overdue the result is ≤ 0 and the batch
+// flushes immediately, without arming a timer — important on coarse-tick
+// platforms, where any armed timer rounds the wait up to the tick (~1ms
+// on some kernels) even when the decision is already clear.
+func (b *batcher) collectWait(deadline time.Time) time.Duration {
+	wait := time.Until(deadline)
+	if b.adaptive && b.gap > 0 {
+		w := time.Until(b.lastArrival.Add(gapFactor * b.gap))
+		if w < wait {
+			wait = w
+		}
+		if wait > 0 && wait < gapFloor {
+			wait = gapFloor
+		}
+	}
+	return wait
+}
+
+// poll waits for the next queued call by yielding instead of arming a
+// timer, for waits too short for the platform timer to deliver.  Returns
+// nil when the deadline passes (or the batcher stops) with nothing queued.
+// The burn is bounded by tickCutoff per batch and in practice lasts a few
+// microseconds: the adaptive wait is gapFactor× a gap that was just
+// observed to be that small.
+func (b *batcher) poll(deadline time.Time) *call {
+	for {
+		select {
+		case c := <-b.queue:
+			return c
+		case <-b.stop:
+			return nil
+		default:
+		}
+		if !time.Now().Before(deadline) {
+			return nil
+		}
+		runtime.Gosched()
+	}
 }
 
 // enqueue admits c, or reports ErrOverloaded (queue full) / ErrClosed
@@ -125,6 +240,10 @@ func (b *batcher) loop() {
 		if first == nil {
 			select {
 			case first = <-b.queue:
+				// The batch opener resets the reference but is not a
+				// sample (see the type comment); a held call keeps the
+				// reference from when it was dequeued mid-assembly.
+				b.noteArrival(first)
 			case <-b.stop:
 				return
 			}
@@ -135,27 +254,41 @@ func (b *batcher) loop() {
 		}
 		batch := []*call{first}
 		if b.size > 1 {
-			timer := time.NewTimer(b.flush)
+			deadline := time.Now().Add(b.flush)
 		collect:
 			for len(batch) < b.size {
-				select {
-				case c := <-b.queue:
-					if c.ctx.Err() != nil {
-						b.drop(c, c.ctx.Err())
-						continue
-					}
-					if c.kernel.Name != first.kernel.Name {
-						hold = c
-						break collect
-					}
-					batch = append(batch, c)
-				case <-timer.C:
-					break collect
-				case <-b.stop:
+				wait := b.collectWait(deadline)
+				if wait <= 0 {
 					break collect
 				}
+				var c *call
+				if wait < tickCutoff {
+					if c = b.poll(time.Now().Add(wait)); c == nil {
+						break collect
+					}
+				} else {
+					timer := time.NewTimer(wait)
+					select {
+					case c = <-b.queue:
+						timer.Stop()
+					case <-timer.C:
+						break collect
+					case <-b.stop:
+						timer.Stop()
+						break collect
+					}
+				}
+				b.observeArrival(c)
+				if c.ctx.Err() != nil {
+					b.drop(c, c.ctx.Err())
+					continue
+				}
+				if c.kernel.Name != first.kernel.Name {
+					hold = c
+					break collect
+				}
+				batch = append(batch, c)
 			}
-			timer.Stop()
 		}
 		// Final cancellation sweep: a call abandoned while the batch was
 		// assembling must not reach the pool.

@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"repro/internal/algos/registry"
@@ -16,10 +15,15 @@ import (
 // HTTP surface of the service:
 //
 //	POST /invoke   one JSON Request  -> one JSON Response
-//	POST /batch    JSONL stream of Requests -> JSONL stream of Responses
-//	               (responses in request order; per-request errors inline)
+//	POST /batch    JSONL stream of Requests -> JSONL stream of Responses,
+//	               streamed in COMPLETION order as each subtask finishes:
+//	               every line carries "index", the 0-based position of the
+//	               request it answers, so the client reorders (or consumes
+//	               out of order); per-request errors are inline
+//	               {"index": i, "error": ...} lines
 //	GET  /metrics  Snapshot as JSON
-//	GET  /kernels  the invocable catalog: [{"name": ..., "desc": ...}, ...]
+//	GET  /kernels  the invocable catalog:
+//	               [{"name": ..., "desc": ..., "payload": ...}, ...]
 //	GET  /healthz  "ok"
 //
 // Error mapping: unknown kernel 404, malformed payload 400, backpressure
@@ -132,11 +136,20 @@ func (s *Service) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// batchError is the inline error line of the streaming /batch protocol:
+// like httpError, but tagged with the index of the request it answers.
+type batchError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
 // handleBatch reads a JSONL stream of requests, submits them all
-// concurrently (so they can coalesce into batches), and streams the
-// responses back as JSONL in request order.  Requests the admission queue
-// turns away come back as inline {"error": ...} lines — the stream itself
-// stays 200 once the first byte is written.
+// concurrently (so they can coalesce into batches), and streams each
+// response back the moment its subtask completes — completion order, not
+// request order, every line tagged with the request index (batchError for
+// per-request failures).  The stream itself stays 200 once the first byte
+// is written; each line is flushed as it is sent, so a client sees early
+// completions while later requests are still running.
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	var reqs []Request
@@ -154,25 +167,18 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.admitClient(w, r, len(reqs)) {
 		return
 	}
-	results := make([]result, len(reqs))
-	var wg sync.WaitGroup
-	for i := range reqs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			resp, err := s.Submit(r.Context(), reqs[i])
-			results[i] = result{resp: resp, err: err}
-		}(i)
-	}
-	wg.Wait()
 	w.Header().Set("Content-Type", "application/jsonl")
+	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for _, res := range results {
-		if res.err != nil {
-			enc.Encode(httpError{Error: res.err.Error()})
-			continue
+	for res := range s.SubmitBatch(r.Context(), reqs) {
+		if res.Err != nil {
+			enc.Encode(batchError{Index: res.Index, Error: res.Err.Error()})
+		} else {
+			enc.Encode(res.Resp)
 		}
-		enc.Encode(res.resp)
+		if flusher != nil {
+			flusher.Flush()
+		}
 	}
 }
 
@@ -182,12 +188,13 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleKernels(w http.ResponseWriter, r *http.Request) {
 	type entry struct {
-		Name string `json:"name"`
-		Desc string `json:"desc"`
+		Name    string `json:"name"`
+		Desc    string `json:"desc"`
+		Payload string `json:"payload"`
 	}
 	var out []entry
 	for _, k := range registry.Invocables() {
-		out = append(out, entry{Name: k.Name, Desc: k.Desc})
+		out = append(out, entry{Name: k.Name, Desc: k.Desc, Payload: k.Payload})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,6 +1,6 @@
 // Package serve is the kernel-as-a-service front-end: a long-running
-// service that schedules catalog kernel invocations (the registry's
-// invocable slice — sort, sortx, scan, gather, strassen) on a single shared
+// service that schedules catalog kernel invocations (every kernel in the
+// registry's invocable slice — all nine fj kernels) on a single shared
 // internal/rt work-stealing pool.
 //
 // The expensive unit on the real backend is the fork-join invocation
@@ -9,10 +9,21 @@
 // every request through a batcher that coalesces small same-kernel requests
 // into one fork-join invocation — the batch root forks one subtask per
 // request, so a batch of k sorts costs one pool invocation instead of k —
-// flushing on batch size or on a deadline, whichever comes first.  Batched
-// execution is byte-identical to per-request serial execution: the served
-// kernels are deterministic in exact int64 arithmetic, and each request's
-// subtask touches only that request's input and output slices.
+// flushing on batch size or on a deadline, whichever comes first.  The
+// deadline is adaptive by default (FlushAdaptive): the dispatcher tracks an
+// EWMA of same-source inter-arrival gaps and stops waiting once the next
+// request is overdue by that measure, bounded above by FlushDelay — so a
+// batch size above the offered concurrency degrades to the observed gap,
+// not to the full fixed deadline (the EXP16 batch > clients pathology).
+// Batched execution is byte-identical to per-request serial execution: the
+// served kernels are deterministic, each request's subtask touches only
+// that request's input and output slices, and the float kernels' payload
+// codecs are exact bit casts.
+//
+// Completion is per request, not per batch: each subtask resolves its
+// request's channel the moment it finishes, so /batch can stream responses
+// as they complete (tagged with the request index) instead of holding the
+// whole batch until its slowest member lands.
 //
 // Admission control is a bounded queue: when it is full the service answers
 // with backpressure (ErrOverloaded, HTTP 429 + Retry-After) instead of
@@ -32,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/algos/registry"
@@ -71,12 +83,40 @@ type Request struct {
 // Response is the result of one request.  Batched reports how many
 // requests shared the fork-join invocation this one rode in (1 = it ran
 // alone); Verified is present only when the request asked for verification.
+// Index is the 0-based position of the request this response answers in
+// its submitted /batch (or SubmitBatch) window — the reorder key of the
+// streaming protocol, 0 for single-request Submit/invoke.
 type Response struct {
 	Kernel   string  `json:"kernel"`
 	N        int64   `json:"n"`
+	Index    int     `json:"index"`
 	Output   []int64 `json:"output"`
 	Batched  int     `json:"batched"`
 	Verified *bool   `json:"verified,omitempty"`
+}
+
+// FlushPolicy selects how a partial batch decides it has waited long
+// enough for more same-kernel arrivals.
+type FlushPolicy int
+
+const (
+	// FlushAdaptive (the default) waits only while the next request is
+	// plausibly coming: a few multiples of the observed inter-arrival gap
+	// EWMA, bounded above by FlushDelay.  With no gap history yet it waits
+	// the full FlushDelay.
+	FlushAdaptive FlushPolicy = iota
+	// FlushFixed always waits out FlushDelay — the pre-adaptive behavior,
+	// kept selectable as EXP16's comparison arm and for tests that need a
+	// deterministic coalescing window.
+	FlushFixed
+)
+
+// String names the policy the way EXP16 rows and hbpserve flags spell it.
+func (p FlushPolicy) String() string {
+	if p == FlushFixed {
+		return "fixed"
+	}
+	return "adaptive"
 }
 
 // Config sizes the service.  The zero value is usable: every field has a
@@ -87,10 +127,13 @@ type Config struct {
 	// BatchSize flushes a batch when this many same-kernel requests have
 	// coalesced (default 8; 1 disables batching).
 	BatchSize int
-	// FlushDelay flushes a partial batch this long after assembly started,
-	// so a lone request is never parked behind an unreachable batch size
-	// (default 500µs).
+	// FlushDelay bounds how long a partial batch waits after assembly
+	// started, so a lone request is never parked behind an unreachable
+	// batch size (default 500µs).  Under FlushAdaptive it is the upper
+	// bound; under FlushFixed it is the whole wait.
 	FlushDelay time.Duration
+	// FlushPolicy picks the partial-batch wait rule (default FlushAdaptive).
+	FlushPolicy FlushPolicy
 	// QueueBound caps the admission queue; a full queue answers
 	// ErrOverloaded (default 256).
 	QueueBound int
@@ -151,6 +194,10 @@ type Service struct {
 	// hookBatch, when set (tests only), observes every batch immediately
 	// before it runs on the pool.
 	hookBatch func(width int)
+	// hookSubtask, when set (tests only), runs inside the pool right after
+	// batch subtask i resolved its request's completion channel — the
+	// deterministic gate the streaming tests hold a batch open with.
+	hookSubtask func(i int)
 }
 
 // New starts a service with its dispatcher running.
@@ -161,7 +208,7 @@ func New(cfg Config) *Service {
 		pool: rt.NewPool(cfg.Pool, rt.Random),
 		met:  &Metrics{},
 	}
-	s.b = newBatcher(cfg.BatchSize, cfg.FlushDelay, cfg.QueueBound, s.runBatch, s.dropCall)
+	s.b = newBatcher(cfg.BatchSize, cfg.FlushDelay, cfg.FlushPolicy == FlushAdaptive, cfg.QueueBound, s.runBatch, s.dropCall)
 	s.met.queueDepth = s.b.depth
 	if cfg.RatePerSec > 0 {
 		s.limiter = newMultiLimiter(cfg.RatePerSec, cfg.RateBurst, cfg.RateClients)
@@ -231,55 +278,103 @@ func (s *Service) Submit(ctx context.Context, req Request) (Response, error) {
 	}
 }
 
+// BatchResult is one streamed result of SubmitBatch: the index of the
+// request it answers (also stamped on Resp.Index) and either a response or
+// the error that kept that request from completing.
+type BatchResult struct {
+	Index int
+	Resp  Response
+	Err   error
+}
+
+// SubmitBatch submits reqs concurrently (so they can coalesce into
+// batches) and returns a channel delivering each result the moment its
+// subtask completes — in completion order, not request order, each tagged
+// with its request index.  The channel closes after len(reqs) results.
+// This is the in-process face of the streaming /batch protocol; EXP16's
+// streaming arm and cmd/hbpload's batch mode both consume it.
+func (s *Service) SubmitBatch(ctx context.Context, reqs []Request) <-chan BatchResult {
+	out := make(chan BatchResult, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Submit(ctx, reqs[i])
+			resp.Index = i
+			out <- BatchResult{Index: i, Resp: resp, Err: err}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
 // runBatch executes one same-kernel batch as a single fork-join invocation
 // on the shared pool: the root forks one subtask per request, each writing
 // its own output slice, so outputs are partitioned by construction and
-// batched execution stays byte-identical to per-request runs.
+// batched execution stays byte-identical to per-request runs.  Each
+// subtask resolves its own request's completion channel as soon as it
+// finishes (finish below) — per-request completion, the property the
+// streaming /batch surface is built on.
 func (s *Service) runBatch(batch []*call) {
 	if s.hookBatch != nil {
 		s.hookBatch(len(batch))
 	}
 	width := len(batch)
+	// The batch counters tick at schedule time, before the invocation:
+	// responses can now leave mid-run, and a client must never read
+	// /metrics after its response yet before its batch was counted.
+	s.met.observeBatch(width)
 	outs := make([][]int64, width)
-	errs := make([]error, width)
 	for i, c := range batch {
 		outs[i] = make([]int64, c.kernel.OutLen(c.in))
 	}
 	fj.RunReal(s.pool, func(fc *fj.Ctx) {
 		fc.For(0, int64(width), 1, func(fc *fj.Ctx, i int64) {
-			c := batch[i]
-			// Validation guarantees panic-free kernels; this recover is a
-			// last line of defense for the task's own goroutine so a bug
-			// fails one request, not the process.  (A panic inside a forked
-			// grandchild still crashes — by design: it is a program bug.)
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("%w: %v", ErrKernel, r)
-				}
-			}()
-			c.kernel.Run(fc, c.in, outs[i])
+			s.finish(fc, batch[i], outs[i], int(i), width)
 		})
 	})
-	s.met.observeBatch(width)
-	for i, c := range batch {
-		if errs[i] != nil {
-			s.met.failed.Add(1)
-			c.done <- result{err: errs[i]}
-			continue
-		}
+}
+
+// finish runs one request's subtask and resolves its completion channel in
+// place, inside the pool invocation.
+func (s *Service) finish(fc *fj.Ctx, c *call, out []int64, i, width int) {
+	var kerr error
+	func() {
+		// Validation guarantees panic-free kernels; this recover is a
+		// last line of defense for the task's own goroutine so a bug
+		// fails one request, not the process.  (A panic inside a forked
+		// grandchild still crashes — by design: it is a program bug.)
+		defer func() {
+			if r := recover(); r != nil {
+				kerr = fmt.Errorf("%w: %v", ErrKernel, r)
+			}
+		}()
+		c.kernel.Run(fc, c.in, out)
+	}()
+	if kerr != nil {
+		s.met.failed.Add(1)
+		c.done <- result{err: kerr}
+	} else {
 		resp := Response{
 			Kernel:  c.kernel.Name,
-			N:       int64(len(outs[i])),
-			Output:  outs[i],
+			N:       int64(len(out)),
+			Output:  out,
 			Batched: width,
 		}
 		if c.verify {
-			v := c.kernel.Verify(c.in, outs[i])
+			v := c.kernel.Verify(c.in, out)
 			resp.Verified = &v
 		}
 		s.met.completed.Add(1)
 		s.met.latency.observe(time.Since(c.enqueued).Nanoseconds())
 		c.done <- result{resp: resp}
+	}
+	if s.hookSubtask != nil {
+		s.hookSubtask(i)
 	}
 }
 

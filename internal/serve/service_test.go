@@ -12,6 +12,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -65,13 +66,20 @@ func postInvoke(t *testing.T, url string, req Request) (Response, *http.Response
 }
 
 // genInput builds the i-th seeded payload for a kernel at a test-friendly
-// size.
+// size (the cubic-work and quadratic-payload kernels run smaller).
 func genInput(t *testing.T, kernel string, i int) []int64 {
 	t.Helper()
 	k, _ := registry.FindInvocable(kernel)
-	n := int64(512)
-	if kernel == "strassen" {
+	var n int64
+	switch kernel {
+	case "strassen", "matmul":
 		n = 16
+	case "transpose":
+		n = 24
+	case "fft":
+		n = 256
+	default:
+		n = 512
 	}
 	in, err := k.Gen(n, uint64(1000+i))
 	if err != nil {
@@ -81,16 +89,17 @@ func genInput(t *testing.T, kernel string, i int) []int64 {
 }
 
 // TestBatchedByteIdenticalToSerial is the headline end-to-end gate: for
-// every served kernel, eight concurrent HTTP requests coalesce into one
-// eight-wide fork-join invocation (batch size 8, long flush), and every
-// response's output is byte-identical to running that request alone on a
-// serial pool.
+// every served kernel — all nine, float codecs included — eight concurrent
+// HTTP requests coalesce into one eight-wide fork-join invocation (batch
+// size 8, long fixed flush: the deterministic coalescing window the width
+// assertion needs), and every response's output is byte-identical to
+// running that request alone on a serial pool.
 func TestBatchedByteIdenticalToSerial(t *testing.T) {
 	const width = 8
 	for _, k := range registry.Invocables() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			svc := New(Config{Pool: 4, BatchSize: width, FlushDelay: 10 * time.Second, QueueBound: 64})
+			svc := New(Config{Pool: 4, BatchSize: width, FlushDelay: 10 * time.Second, FlushPolicy: FlushFixed, QueueBound: 64})
 			defer svc.Close()
 			ts := httptest.NewServer(svc.Handler())
 			defer ts.Close()
@@ -368,11 +377,14 @@ func TestMalformedPayloads400(t *testing.T) {
 		body   string
 		status int
 	}{
-		{"unknown kernel", `{"kernel":"fft","n":8}`, http.StatusNotFound},
+		{"unknown kernel", `{"kernel":"nope","n":8}`, http.StatusNotFound},
 		{"gather odd payload", `{"kernel":"gather","input":[0,10,20]}`, http.StatusBadRequest},
 		{"gather index out of range", `{"kernel":"gather","input":[2,0,10,20]}`, http.StatusBadRequest},
 		{"strassen non-square", `{"kernel":"strassen","input":[1,2,3,4,5,6]}`, http.StatusBadRequest},
 		{"strassen non-pow2 request", `{"kernel":"strassen","n":3}`, http.StatusBadRequest},
+		{"fft odd payload", `{"kernel":"fft","input":[1,2,3]}`, http.StatusBadRequest},
+		{"fft non-pow2 request", `{"kernel":"fft","n":3}`, http.StatusBadRequest},
+		{"listrank cyclic payload", `{"kernel":"listrank","input":[1,0,-1]}`, http.StatusBadRequest},
 		{"negative n", `{"kernel":"sort","n":-5}`, http.StatusBadRequest},
 		{"oversized n", `{"kernel":"sort","n":99999999999}`, http.StatusBadRequest},
 		{"bad json", `{"kernel":`, http.StatusBadRequest},
@@ -400,8 +412,10 @@ func TestMalformedPayloads400(t *testing.T) {
 	hr.Body.Close()
 }
 
-// TestBatchEndpointJSONL exercises the JSONL stream surface: responses come
-// back one JSON object per request, in request order, with inline errors.
+// TestBatchEndpointJSONL exercises the streaming JSONL surface: responses
+// come back one JSON object per request in COMPLETION order, each tagged
+// with the index of the request it answers (the client's reorder key),
+// with inline {"index", "error"} lines for per-request failures.
 func TestBatchEndpointJSONL(t *testing.T) {
 	svc := New(Config{Pool: 2, BatchSize: 4, FlushDelay: 2 * time.Millisecond, QueueBound: 64})
 	defer svc.Close()
@@ -422,19 +436,41 @@ func TestBatchEndpointJSONL(t *testing.T) {
 	if hr.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", hr.StatusCode)
 	}
+	// One stream line per request — any order, every index exactly once.
+	type line struct {
+		Index  int    `json:"index"`
+		Error  string `json:"error"`
+		Kernel string `json:"kernel"`
+		N      int64  `json:"n"`
+	}
+	seen := make(map[int]line)
 	dec := json.NewDecoder(hr.Body)
-	for i := 0; i < reqs; i++ {
-		var resp Response
-		if err := dec.Decode(&resp); err != nil {
-			t.Fatalf("response %d: %v", i, err)
+	for {
+		var l line
+		if err := dec.Decode(&l); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("stream line %d: %v", len(seen), err)
 		}
-		if resp.Kernel != "scan" || resp.N != int64(32+i) {
-			t.Errorf("response %d out of order: kernel %s n %d", i, resp.Kernel, resp.N)
+		if _, dup := seen[l.Index]; dup {
+			t.Fatalf("index %d streamed twice", l.Index)
+		}
+		seen[l.Index] = l
+	}
+	if len(seen) != reqs+1 {
+		t.Fatalf("stream carried %d lines, want %d", len(seen), reqs+1)
+	}
+	for i := 0; i < reqs; i++ {
+		l, ok := seen[i]
+		if !ok {
+			t.Fatalf("no stream line for request %d", i)
+		}
+		if l.Error != "" || l.Kernel != "scan" || l.N != int64(32+i) {
+			t.Errorf("request %d answered by the wrong line: %+v", i, l)
 		}
 	}
-	var e httpError
-	if err := dec.Decode(&e); err != nil || e.Error == "" {
-		t.Fatalf("missing inline error for the bad request: %v", err)
+	if l := seen[reqs]; l.Error == "" {
+		t.Fatalf("missing inline error for the bad request: %+v", l)
 	}
 }
 

@@ -46,13 +46,17 @@ if [ "$MODE" != grid ]; then
     # The fj real lowering runs genuinely parallel pools and the equality gate
     # compares its outputs against the sim lowering byte for byte; the arena
     # tests and the root alloc-regression pins run here too, because the race
-    # build is where released slabs are poison-filled.
-    go test -race ./internal/fj/ ./internal/arena/ ./internal/algos/registry/
+    # build is where released slabs are poison-filled.  FuzzInvokeCodec's
+    # committed seed corpus (every kernel's payload codec round-trip) runs as
+    # ordinary test cases under the detector.
+    go test -race -run 'Test|FuzzInvokeCodec' ./internal/fj/ ./internal/arena/ ./internal/algos/registry/
     go test -race -run 'TestSortAllocRegression' .
 
     echo "== gate: -race over the kernel service + fuzz seed corpora =="
-    # The serve battery exercises concurrent clients, cancellation and
-    # backpressure; fuzz seed corpora run as ordinary test cases here, so
+    # The serve battery exercises concurrent clients, cancellation,
+    # backpressure, the streaming /batch protocol (first response before the
+    # batch's last request completes) and the adaptive flush deadline's tail
+    # latency gate; fuzz seed corpora run as ordinary test cases here, so
     # every committed FuzzBatcher and FuzzKWayMerge seed stays green (the
     # spms corpus drives the k-way merge on the real backend at p=4).
     go test -race -run 'Test|FuzzBatcher|FuzzKWayMerge' ./internal/serve/ ./internal/algos/spms/
@@ -65,7 +69,7 @@ if [ "$MODE" != grid ]; then
     echo "== gate: benchmark smoke (every benchmark runs one iteration) =="
     go test -run '^$' -bench . -benchtime 1x . >/dev/null
 
-    echo "== gate: hbplint (falseshare/atomicmix/fjdiscipline/determinism/grainaudit) =="
+    echo "== gate: hbplint (falseshare/atomicmix/fjdiscipline/lifoorder/determinism/grainaudit) =="
     go run ./cmd/hbplint -stats ./...
 
     echo "== gate: docs (package comments + markdown links) =="
@@ -126,13 +130,22 @@ if [ "$MODE" != verify ]; then
             exit 1
         }
     done
-    # EXP16 must cover both arms of the batching comparison and verify them
+    # EXP16 must cover the batching comparison plus the adaptive-deadline
+    # and streaming-submission arms, and verify them all
     grep -q '^EXP16,sort,.*batch=1 ' "$rows_csv" || {
         echo "EXP16 missing the batch=1 baseline" >&2
         exit 1
     }
     grep -q '^EXP16,sort,.*batch=4 ' "$rows_csv" || {
         echo "EXP16 missing the batched arm" >&2
+        exit 1
+    }
+    grep -q '^EXP16,sort,.*flush=adaptive ' "$rows_csv" || {
+        echo "EXP16 missing the adaptive-deadline arm" >&2
+        exit 1
+    }
+    grep -q '^EXP16,sort,.*mode=stream ' "$rows_csv" || {
+        echo "EXP16 missing the streaming-submission arm" >&2
         exit 1
     }
     if grep '^EXP16,' "$rows_csv" | grep -qv ' ok'; then
